@@ -1,0 +1,44 @@
+"""FIG1A bench — regenerate Fig. 1(a): the two interaction potentials.
+
+Paper artefact: the potential curves for scalable (tanh, red) and
+bottlenecked (sine/sgn, blue) programs on [-10, 10], with the first
+zero of the bottleneck curve marking the stable desync state at
+``2*sigma/3``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig1a
+
+
+@pytest.mark.benchmark(group="fig1a")
+def test_fig1a_potential_curves(benchmark, reports):
+    result = benchmark(run_fig1a)
+
+    # --- the figure's structural facts --------------------------------
+    for s, zero in result.first_zeros.items():
+        assert zero == pytest.approx(2 * s / 3, rel=1e-6)
+    assert result.continuity_gap < 1e-6
+    assert result.scalable[-1] == pytest.approx(1.0, abs=1e-6)
+    for curve in result.bottlenecked.values():
+        assert np.max(np.abs(curve)) <= 1.0 + 1e-12
+
+    rows = ", ".join(
+        f"sigma={s:g}: zero={result.first_zeros[s]:.4f} "
+        f"(theory {2 * s / 3:.4f})"
+        for s in result.sigmas
+    )
+    reports.append(f"FIG1A  potentials: {rows}")
+
+
+@pytest.mark.benchmark(group="fig1a")
+def test_fig1a_potential_evaluation_throughput(benchmark):
+    """Engineering: vectorised potential evaluation on a large grid
+    (the inner loop of every model RHS)."""
+    from repro.core import BottleneckPotential
+
+    pot = BottleneckPotential(sigma=1.0)
+    grid = np.linspace(-10, 10, 1_000_000)
+    out = benchmark(pot, grid)
+    assert out.shape == grid.shape

@@ -1,0 +1,41 @@
+"""FIG1B bench — regenerate Fig. 1(b): socket-level kernel scalability.
+
+Paper artefact: memory bandwidth vs. processes per Meggie socket for
+STREAM triad, "slow" Schönauer triad, and PISOLVER.  Shape to match:
+STREAM saturates the 68 GB/s socket at ~5 cores, the slow triad
+saturates later/lower, PISOLVER shows no bandwidth footprint (linear
+scaling).
+"""
+
+import pytest
+
+from repro.experiments import run_fig1b
+
+
+@pytest.mark.benchmark(group="fig1b")
+def test_fig1b_bandwidth_scaling(benchmark, reports):
+    result = benchmark.pedantic(
+        lambda: run_fig1b(array_elements=4e6, n_iterations=6),
+        rounds=3, iterations=1,
+    )
+
+    stream, schoen, pisolver = (result.stream, result.schoenauer,
+                                result.pisolver)
+
+    # --- the figure's shape --------------------------------------------
+    assert stream.saturates
+    assert stream.saturation_ranks == pytest.approx(5.0, rel=0.15)
+    assert schoen.saturation_ranks > stream.saturation_ranks
+    assert not pisolver.saturates
+    assert stream.bandwidth_GBs[-1] == pytest.approx(68.0, rel=0.05)
+    assert stream.bandwidth_GBs[0] > schoen.bandwidth_GBs[0] > 0.0
+
+    def fmt(curve):
+        return " ".join(f"{b:5.1f}" for b in curve.bandwidth_GBs)
+
+    reports.append("FIG1B  aggregate bandwidth [GB/s] vs ranks 1..10:")
+    reports.append(f"       stream    : {fmt(stream)} "
+                   f"(saturates @ {stream.saturation_ranks:.1f} cores)")
+    reports.append(f"       schoenauer: {fmt(schoen)} "
+                   f"(saturates @ {schoen.saturation_ranks:.1f} cores)")
+    reports.append(f"       pisolver  : {fmt(pisolver)} (no traffic)")

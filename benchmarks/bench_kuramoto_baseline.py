@@ -1,0 +1,46 @@
+"""CLAIM-KM bench — Sec. 2.2.2: why plain Kuramoto cannot describe
+parallel programs.
+
+Three disqualifiers, each measured:
+
+1. all-to-all coupling acts like a per-cycle barrier (synchronisation
+   is orders of magnitude faster than any sparse topology allows);
+2. no stable desynchronised state exists — the sinusoidal potential
+   collapses a computational-wavefront configuration;
+3. 2*pi phase slips leave the dynamics invariant, which is impossible
+   for processes that must receive a message per iteration.
+"""
+
+import pytest
+
+from repro.experiments import kuramoto_baseline
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return kuramoto_baseline(n=24, t_end=300.0, seed=0)
+
+
+@pytest.mark.benchmark(group="claim-km")
+def test_kuramoto_is_unsuitable(benchmark, baseline, reports):
+    benchmark.pedantic(
+        lambda: kuramoto_baseline(n=24, t_end=100.0, seed=0),
+        rounds=3, iterations=1,
+    )
+
+    b = baseline
+    # 1. Barrier-like synchronisation.
+    assert b.km_sync_time < 0.2 * b.pom_sync_time
+    # 2. No desynchronised equilibrium.
+    assert b.pom_final_gap == pytest.approx(1.0, rel=0.15)  # 2*sigma/3
+    assert b.km_final_gap < 0.5 * b.pom_final_gap
+    # 3. Phase slips.
+    assert b.km_phase_slip_invariance < 1e-9
+    assert b.pom_phase_slip_invariance > 1e-3
+
+    reports.append(
+        f"CLAIM-KM sync time: KM {b.km_sync_time:.2f}s vs POM "
+        f"{b.pom_sync_time:.2f}s | wavefront hold: KM gap "
+        f"{b.km_final_gap:.3f} vs POM {b.pom_final_gap:.3f} | phase-slip "
+        f"RHS change: KM {b.km_phase_slip_invariance:.1e} vs POM "
+        f"{b.pom_phase_slip_invariance:.1e}")

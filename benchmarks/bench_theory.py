@@ -1,0 +1,90 @@
+"""Theory benches: linear stability, dispersion, and the max-plus
+closed form — the analytic extensions beyond the paper.
+
+These quantify how well the from-first-principles predictions match the
+simulations, which is the strongest internal-consistency check the
+reproduction has:
+
+* predicted sync/desync onset = sign of V'(0) — matched by simulation;
+* desync instability growth rate from the dispersion relation — matched
+  to ~5%;
+* compute-bound DES = max-plus recurrence — matched to machine epsilon.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_stability,
+    fastest_growing_mode,
+    maxplus_iteration_ends,
+)
+from repro.core import (
+    BottleneckPotential,
+    PhysicalOscillatorModel,
+    TanhPotential,
+    ring,
+    simulate,
+)
+from repro.simulator import (
+    ClusterSimulator,
+    Injection,
+    MachineSpec,
+    PiSolverKernel,
+    ProgramSpec,
+)
+
+
+def _model(potential, n=24, v_p=6.0):
+    return PhysicalOscillatorModel(
+        topology=ring(n, (1, -1)), potential=potential,
+        t_comp=0.9, t_comm=0.1, v_p_override=v_p)
+
+
+@pytest.mark.benchmark(group="theory")
+def test_stability_theory_vs_simulation(benchmark, reports):
+    """The analytic growth rate of the desync instability matches the
+    measured exponential growth of a zigzag seed."""
+    n, v_p = 24, 6.0
+    m = _model(BottleneckPotential(sigma=1.0), n=n, v_p=v_p)
+    mode = fastest_growing_mode(m)
+
+    def measure():
+        amp0 = 1e-6
+        theta0 = amp0 * np.cos(mode["k"] * np.arange(n))
+        traj = simulate(m, 1.0, theta0=theta0, seed=0)
+        x = traj.comoving_phases()
+        amp1 = np.abs(x[-1] - x[-1].mean()).max()
+        return float(np.log(amp1 / amp0) / traj.t_end)
+
+    measured = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert measured == pytest.approx(mode["rate"], rel=0.05)
+
+    rep_tanh = analyze_stability(_model(TanhPotential()))
+    rep_bneck = analyze_stability(m)
+    assert rep_tanh.stable and not rep_bneck.stable
+    reports.append(
+        f"THEORY stability: tanh stable (slowest decay "
+        f"{-rep_tanh.max_growth_rate:.4f}/s), bottleneck unstable "
+        f"(zigzag k=pi grows at {mode['rate']:.3f}/s predicted, "
+        f"{measured:.3f}/s measured)")
+
+
+@pytest.mark.benchmark(group="theory")
+def test_maxplus_equals_des(benchmark, reports):
+    """The closed-form recurrence reproduces the DES bit-exactly for
+    compute-bound runs — and is ~an order of magnitude faster."""
+    m = MachineSpec(nodes=2)
+    spec = ProgramSpec(n_ranks=40, n_iterations=30,
+                       kernel=PiSolverKernel(1e6), machine=m,
+                       distances=(1, -1, -2))
+    inj = [Injection(rank=4, iteration=5, extra_time=3e-3)]
+
+    analytic = benchmark(lambda: maxplus_iteration_ends(spec,
+                                                        injections=inj))
+    des = ClusterSimulator(spec, injections=inj, seed=0).run()
+    np.testing.assert_allclose(analytic, des.iteration_ends,
+                               rtol=1e-12, atol=1e-15)
+    reports.append(
+        "THEORY max-plus recurrence == DES iteration ends "
+        "(40 ranks x 30 iters, d=±1,-2, with injection): exact")

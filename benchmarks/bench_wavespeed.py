@@ -1,0 +1,53 @@
+"""CLAIM-BK bench — Sec. 5.1.1: idle-wave speed vs. beta*kappa.
+
+Paper claims encoded:
+
+* ``beta*kappa ~ 0``: free processes — no wave, no resynchronisation;
+* ``beta*kappa = 1``: next-neighbour coupling, minimum idle-wave speed,
+  slow relaxation into the synchronised state;
+* larger ``beta*kappa``: faster wave, "stiffer" system;
+* very large ``beta*kappa``: strongly synchronising.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import sweep_beta_kappa
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_beta_kappa(values=[0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+                            n_ranks=16, t_end=500.0, seed=0)
+
+
+@pytest.mark.benchmark(group="claim-bk")
+def test_wave_speed_grows_with_beta_kappa(benchmark, sweep, reports):
+    benchmark.pedantic(
+        lambda: sweep_beta_kappa(values=[2.0], n_ranks=16, t_end=300.0),
+        rounds=3, iterations=1,
+    )
+
+    bk = sweep.beta_kappa
+    speeds = sweep.wave_speed
+    resync = sweep.resync_time
+
+    # beta*kappa = 0: free processes.
+    assert np.isnan(speeds[0]) or speeds[0] == 0.0
+    assert np.isinf(resync[0])
+
+    # Monotone speed growth over the coupled entries.
+    coupled = speeds[1:]
+    assert np.all(np.isfinite(coupled))
+    assert np.all(np.diff(coupled) > 0)
+
+    # Resynchronisation accelerates with coupling.
+    finite = np.isfinite(resync)
+    assert np.all(np.diff(resync[finite]) < 0)
+
+    rows = "  ".join(f"bk={b:g}:{s:.3f}" for b, s in zip(bk[1:], coupled))
+    reports.append(f"CLAIM-BK wave speed [ranks/s] vs beta*kappa: {rows}")
+    rows2 = "  ".join(
+        f"bk={b:g}:{r:.0f}s" for b, r in zip(bk, resync) if np.isfinite(r))
+    reports.append(f"CLAIM-BK resync time after delay: {rows2} "
+                   f"(bk=0: never)")

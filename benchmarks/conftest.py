@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artefact (figure or in-text
+claim) and prints the series the paper reports, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+harness.  Timings measure the cost of the reproduction itself (the
+model solve / DES run), which documents that the "simple and cheap
+experimentation" promise of the paper (Sec. 1) holds.
+
+The artefact lines are emitted through the ``pytest_terminal_summary``
+hook so they survive output capture and appear after the benchmark
+tables.
+"""
+
+import pytest
+
+_REPORT_LINES: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def reports():
+    """Collector for artefact summary lines (shown in the terminal
+    summary at the end of the run)."""
+    return _REPORT_LINES
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_LINES:
+        return
+    terminalreporter.write_sep("=", "PAPER ARTEFACT REPRODUCTION SUMMARY")
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fig. 1(b) live: socket-level scalability of the three microbenchmarks.
+
+Runs the paper's kernels — STREAM triad, "slow" Schönauer triad, and
+PISOLVER — on a simulated Meggie socket at every occupancy from one
+rank to the full ten cores, and prints the achieved aggregate memory
+bandwidth next to the closed-form expectation.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro.analysis import measure_scaling
+from repro.simulator import (
+    MachineSpec,
+    PiSolverKernel,
+    SchoenauerTriadKernel,
+    StreamTriadKernel,
+)
+from repro.viz import sparkline
+
+machine = MachineSpec.meggie()
+print(f"machine: {machine.cores_per_socket}-core socket, "
+      f"{machine.socket_bandwidth / 1e9:.0f} GB/s ceiling, "
+      f"{machine.core_bandwidth / 1e9:.0f} GB/s per core")
+print()
+
+for kernel in (StreamTriadKernel(4e6), SchoenauerTriadKernel(4e6),
+               PiSolverKernel(1e6)):
+    curve = measure_scaling(kernel, machine, n_iterations=8)
+    print(f"--- {kernel.name} "
+          f"(traffic {kernel.traffic_bytes / 1e6:.0f} MB/sweep, "
+          f"in-core {kernel.core_time * 1e3:.2f} ms/sweep)")
+    if curve.saturates:
+        print(f"    saturates the socket at ~{curve.saturation_ranks:.1f} cores")
+    else:
+        print("    never saturates (resource-scalable)")
+    print(f"    {'ranks':>6} {'measured GB/s':>14} {'analytic GB/s':>14} "
+          f"{'ms/sweep':>10}")
+    for n, bw, an, t in zip(curve.ranks, curve.bandwidth_GBs,
+                            curve.analytic_GBs, curve.time_per_iteration):
+        print(f"    {n:>6d} {bw:>14.1f} {an:>14.1f} {t * 1e3:>10.2f}")
+    print(f"    bandwidth curve: {sparkline(curve.bandwidth_GBs)}")
+    print()
+
+print("reading: STREAM saturates ~5 Broadwell cores; the slow Schönauer")
+print("triad's cosine+division push saturation towards the full socket;")
+print("PISOLVER exercises no memory traffic at all (linear scaling).")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Desynchronisation of a memory-bound program, on both sides of the
+paper's analogy.
+
+Left side (oscillator model): a ring of oscillators with the
+*bottleneck* potential starts almost synchronised; the symmetric state
+is unstable and the system settles into a computational wavefront whose
+adjacent phase gaps sit at the potential's first zero, 2*sigma/3.
+
+Right side (cluster simulator): the STREAM-triad kernel on a simulated
+Meggie socket — ranks sharing the memory interface drift apart after a
+one-off delay and keep a persistent iteration-time stagger (bottleneck
+evasion).
+
+Run:  python examples/desync_wavefront.py
+"""
+
+import numpy as np
+
+from repro.analysis import analyze_desync, measure_trace_wave
+from repro.core import (
+    BottleneckPotential,
+    PhysicalOscillatorModel,
+    ring,
+    simulate,
+)
+from repro.metrics import classify
+from repro.simulator import StreamTriadKernel, paper_program, run_with_one_off_delay
+from repro.viz import circle_diagram, timeline
+
+SIGMA = 1.5
+N = 24
+
+# ----------------------------------------------------------------- model
+print("=" * 70)
+print("oscillator model: bottleneck potential, sigma =", SIGMA)
+print("=" * 70)
+model = PhysicalOscillatorModel(
+    topology=ring(N, (1, -1)),
+    potential=BottleneckPotential(sigma=SIGMA),
+    t_comp=0.9,
+    t_comm=0.1,
+)
+rng = np.random.default_rng(7)
+theta0 = rng.normal(0.0, 1e-3, N)        # tiny symmetry-breaking noise
+traj = simulate(model, t_end=1200.0, theta0=theta0, seed=7)
+
+verdict = classify(traj.ts, traj.thetas, model.omega)
+print(f"state: {verdict.state.value}")
+print(f"mean |adjacent gap| = {verdict.mean_abs_gap:.4f} rad "
+      f"(theory: 2*sigma/3 = {2 * SIGMA / 3:.4f})")
+print(f"phase spread = {verdict.final_spread:.3f} rad, "
+      f"order parameter r = {verdict.r_final:.3f}")
+print()
+print(circle_diagram(traj.final_phases,
+                     title="asymptotic phases: broken translational symmetry"))
+
+# ------------------------------------------------------------- simulator
+print()
+print("=" * 70)
+print("cluster simulator: STREAM triad, 20 ranks on 2 Meggie sockets")
+print("=" * 70)
+spec = paper_program(StreamTriadKernel(4e6), n_ranks=20, n_iterations=40,
+                     distances=(1, -1))
+baseline, disturbed = run_with_one_off_delay(spec, delay_rank=4,
+                                             delay_iteration=5, seed=0)
+
+wave = measure_trace_wave(baseline, disturbed, source=4)
+print(f"idle wave speed: {wave.speed_ranks_per_iteration:.2f} ranks/iteration")
+
+report = analyze_desync(disturbed, socket_size=10)
+print(f"desync index: {report.desync_index:.3f} "
+      f"-> desynchronized = {report.is_desynchronized}")
+print(f"wavefront slope: {report.slope_per_rank * 1e3:.3f} ms/rank")
+print()
+print(timeline(disturbed.wait_matrix(),
+               title="trace: waits per (rank x iteration) — "
+                     "note the persistent stagger"))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Closing the loop: calibrate the oscillator model from cluster traces.
+
+The paper's pitch (Sec. 6) is that the POM characterises a system with
+very few parameters.  This example demonstrates the full workflow:
+
+1. run a memory-bound program on the simulated cluster and *fit* the
+   model parameters (cycle split, interaction horizon sigma) from its
+   trace alone;
+2. measure an idle-wave speed on a compute-bound run and invert the
+   model's speed-vs-coupling curve to recover beta*kappa;
+3. instantiate the calibrated POM and check it reproduces the trace's
+   verdict.
+
+Run:  python examples/model_calibration.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    analyze_desync,
+    calibrate_beta_kappa,
+    fit_model_to_trace,
+    measure_trace_wave,
+)
+from repro.core import (
+    BottleneckPotential,
+    PhysicalOscillatorModel,
+    ring,
+    simulate,
+)
+from repro.metrics import classify
+from repro.simulator import (
+    MachineSpec,
+    PiSolverKernel,
+    StreamTriadKernel,
+    paper_program,
+    run_with_one_off_delay,
+)
+
+print("=" * 70)
+print("step 1: fit sigma and the cycle from a memory-bound trace")
+print("=" * 70)
+machine = MachineSpec.meggie()
+spec = paper_program(StreamTriadKernel(4e6), n_ranks=20, n_iterations=40,
+                     distances=(1, -1), machine=machine)
+_, disturbed = run_with_one_off_delay(spec, delay_rank=4,
+                                      delay_iteration=5, seed=0)
+fit = fit_model_to_trace(disturbed, socket_size=machine.cores_per_socket)
+print(f"recovered cycle: t_comp={fit['t_comp'] * 1e3:.2f} ms, "
+      f"t_comm={fit['t_comm'] * 1e3:.2f} ms")
+print(f"recovered sigma: {fit['sigma']:.4f} "
+      f"(scalable={fit['scalable']})")
+
+print()
+print("=" * 70)
+print("step 2: recover beta*kappa from a measured idle-wave speed")
+print("=" * 70)
+spec_cpu = paper_program(PiSolverKernel(1e6), n_ranks=24, n_iterations=30,
+                         distances=(1, -1))
+base, dist = run_with_one_off_delay(spec_cpu, delay_rank=6,
+                                    delay_iteration=4, seed=0)
+wave = measure_trace_wave(base, dist, 6)
+period = spec_cpu.kernel.single_core_time(spec_cpu.machine)
+speed_per_second = wave.speed_ranks_per_iteration / period
+# Express in the model's time units (period = 1 s):
+model_speed = wave.speed_ranks_per_iteration / 1.0
+print(f"trace wave speed: {wave.speed_ranks_per_iteration:.2f} "
+      f"ranks/iteration")
+result = calibrate_beta_kappa(model_speed * 0.03, n_ranks=24, t_end=150.0)
+print(f"calibrated beta*kappa = {result['beta_kappa']:.2f} "
+      f"(speed match {result['speed']:.4f}, converged="
+      f"{result['converged']})")
+
+print()
+print("=" * 70)
+print("step 3: the calibrated model reproduces the trace verdict")
+print("=" * 70)
+model = PhysicalOscillatorModel(
+    topology=ring(20, (1, -1)),
+    potential=BottleneckPotential(sigma=max(fit["sigma"], 0.3)),
+    t_comp=0.9, t_comm=0.1,   # normalised cycle
+    v_p_override=6.0,
+)
+rng = np.random.default_rng(0)
+traj = simulate(model, 150.0, theta0=rng.normal(0, 1e-3, 20), seed=0)
+verdict = classify(traj.ts, traj.thetas, model.omega)
+trace_report = analyze_desync(disturbed,
+                              socket_size=machine.cores_per_socket)
+print(f"model verdict: {verdict.state.value}")
+print(f"trace verdict: desynchronized={trace_report.is_desynchronized}")
+print(f"agreement: "
+      f"{verdict.is_desynchronized == trace_report.is_desynchronized}")

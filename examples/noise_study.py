@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Noise study: what the paper's Sec. 6 lists as future work.
+
+The POM carries two noise channels — process-local frequency jitter
+``zeta_i(t)`` and interaction delays ``tau_ij(t)``.  This example
+explores the question the paper leaves open ("we have not yet explored
+the role of the noise functions... whether these would be able to
+properly describe idle wave decay"): does local jitter damp idle waves,
+as observed on real clusters [2]?
+
+For each noise level the same one-off delay is injected; the wave's
+amplitude decay length (ranks to e-fold) is measured from the phase
+deficits.  On the DES side the analogous experiment adds exponential
+compute noise.
+
+Run:  python examples/noise_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import measure_trace_wave
+from repro.core import (
+    GaussianJitter,
+    OneOffDelay,
+    PhysicalOscillatorModel,
+    TanhPotential,
+    ring,
+    simulate,
+)
+from repro.metrics import paired_wave_decay
+from repro.simulator import (
+    ExponentialComputeNoise,
+    Injection,
+    PiSolverKernel,
+    paper_program,
+    run_program,
+)
+
+N = 32
+T_INJECT = 20.0
+
+print("=== model side: wave decay length vs. local jitter level ===")
+print("(paired runs: same noise seed with and without the injection,")
+print(" so the subtraction isolates the coherent wave)")
+print(f"{'jitter std (s)':>15} {'decay length (ranks)':>22}")
+for std in (0.0, 0.01, 0.03, 0.1):
+    common = dict(
+        topology=ring(N, (1, -1)),
+        potential=TanhPotential(),
+        t_comp=0.9,
+        t_comm=0.1,
+        local_noise=GaussianJitter(std=std, refresh=0.5),
+    )
+    with_delay = PhysicalOscillatorModel(
+        **common,
+        delays=(OneOffDelay(rank=4, t_start=T_INJECT, delay=1.0),),
+    )
+    without_delay = PhysicalOscillatorModel(**common)
+    traj_d = simulate(with_delay, 400.0, seed=3, n_samples=1500)
+    traj_b = simulate(without_delay, 400.0, seed=3, n_samples=1500)
+    decay = paired_wave_decay(traj_b.thetas, traj_d.thetas, source=4)
+    print(f"{std:>15.3f} {decay['decay_length']:>22.2f}")
+
+print()
+print("=== simulator side: wave amplitude vs. compute noise ===")
+kernel = PiSolverKernel(1e6)
+spec = paper_program(kernel, n_ranks=N, n_iterations=60, distances=(1, -1))
+extra = 3.0 * kernel.single_core_time(spec.machine)
+inj = (Injection(rank=4, iteration=5, extra_time=extra),)
+
+print(f"{'noise scale':>12} {'wave speed (r/it)':>18} {'decay (ranks)':>15}")
+for scale in (0.0, 0.1, 0.3):
+    noise = (ExponentialComputeNoise(scale=scale * kernel.core_time, prob=0.2)
+             if scale > 0 else None)
+    base = run_program(spec, compute_noise=noise, seed=11)
+    disturbed = run_program(spec, injections=inj, compute_noise=noise, seed=11)
+    fit = measure_trace_wave(base, disturbed, source=4)
+    print(f"{scale:>12.2f} {fit.speed_ranks_per_iteration:>18.2f} "
+          f"{fit.decay_length_ranks:>15.2f}")
+
+print()
+print("reading: in the DES the injected deficit is conserved on a silent")
+print("system (infinite decay length) and absorbed within a finite number")
+print("of ranks under noise — the damping reported on real clusters [2].")
+print("In the POM the tanh coupling alone already disperses the wave")
+print("(finite decay length even at zero jitter), and local jitter barely")
+print("changes it: evidence for the paper's Sec. 6 remark that whether the")
+print("model's noise channels reproduce idle-wave decay is an open question.")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: the physical oscillator model in 40 lines.
+
+Builds the paper's canonical scenario — a ring of 16 MPI-process
+oscillators with next-neighbour communication (d = ±1), scalable
+(tanh) coupling, and a one-off delay on rank 4 — then shows the idle
+wave rippling through the system and the subsequent resynchronisation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    OneOffDelay,
+    PhysicalOscillatorModel,
+    TanhPotential,
+    ring,
+    simulate,
+)
+from repro.metrics import classify, measure_wave_speed
+from repro.viz import circle_diagram, heatmap
+
+N = 16
+T_COMP, T_COMM = 0.9, 0.1        # seconds per cycle phase
+DELAY_RANK, T_INJECT = 4, 10.0
+
+model = PhysicalOscillatorModel(
+    topology=ring(N, (1, -1)),                 # d = ±1 halo exchange
+    potential=TanhPotential(),                 # resource-scalable code
+    t_comp=T_COMP,
+    t_comm=T_COMM,
+    delays=(OneOffDelay(rank=DELAY_RANK, t_start=T_INJECT, delay=1.0),),
+)
+print(f"N={model.n}  period={model.period}s  omega={model.omega:.3f} rad/s")
+print(f"coupling: beta*kappa={model.beta_kappa:g}  v_p={model.v_p:g}")
+
+traj = simulate(model, t_end=600.0, seed=0)
+
+# The paper's standard view: phases relative to the slowest process.
+print()
+print(heatmap(traj.lagger_normalized(),
+              title="lagger-normalised phases — the idle wave is the ridge"))
+
+# Where did the wave go and how fast?
+wave = measure_wave_speed(traj.ts, traj.thetas, model.omega, DELAY_RANK,
+                          t_injection=T_INJECT)
+print(f"\nidle wave: speed {wave.speed:.3f} ranks/s, "
+      f"reached {wave.n_reached}/{N - 1} ranks")
+
+# Asymptotics: scalable codes resynchronise.
+verdict = classify(traj.ts, traj.thetas, model.omega)
+print(f"asymptotic state: {verdict.state.value} "
+      f"(spread {verdict.final_spread:.4f} rad, r = {verdict.r_final:.4f})")
+
+print()
+print(circle_diagram(traj.final_phases, title="final phases (circle view)"))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Topology and protocol study: how beta*kappa shapes the dynamics.
+
+Sweeps the three knobs of the coupling-strength formula
+``v_p = beta * kappa / (t_comp + t_comm)`` (paper Sec. 3.1):
+
+1. the communication distance set (kappa = sum of distances),
+2. eager vs. rendezvous protocol (beta = 1 vs 2),
+3. separate waits vs. one MPI_Waitall (kappa = sum vs. max),
+
+and measures the idle-wave speed and resynchronisation time for each —
+the Sec. 5.1.1 story: beta*kappa ~ 0 = free processes, beta*kappa = 1 =
+slowest wave, large beta*kappa = stiff, strongly synchronising system.
+
+Run:  python examples/topology_study.py
+"""
+
+from repro.core import (
+    CouplingSpec,
+    OneOffDelay,
+    PhysicalOscillatorModel,
+    Protocol,
+    TanhPotential,
+    WaitMode,
+    ring,
+    simulate,
+)
+from repro.metrics import measure_wave_speed, settle_time
+
+N = 24
+T_INJECT = 20.0
+T_END = 1500.0
+
+print(f"{'distances':>16} {'protocol':>11} {'waits':>9} "
+      f"{'bk':>5} {'wave speed':>11} {'resync':>9}")
+print("-" * 70)
+
+for distances in [(1, -1), (1, -1, -2), (1, -1, 2, -2), (3, -3)]:
+    for protocol in (Protocol.EAGER, Protocol.RENDEZVOUS):
+        for wait_mode in (WaitMode.SEPARATE, WaitMode.WAITALL):
+            coupling = CouplingSpec(protocol=protocol, wait_mode=wait_mode)
+            model = PhysicalOscillatorModel(
+                topology=ring(N, distances),
+                potential=TanhPotential(),
+                t_comp=0.9,
+                t_comm=0.1,
+                coupling=coupling,
+                delays=(OneOffDelay(rank=4, t_start=T_INJECT, delay=0.5),),
+            )
+            traj = simulate(model, T_END, seed=0)
+            wave = measure_wave_speed(traj.ts, traj.thetas, model.omega, 4,
+                                      t_injection=T_INJECT)
+            resync = settle_time(traj.ts, traj.thetas, model.omega, tol=0.1)
+            resync_s = (f"{resync - T_INJECT:7.1f}s"
+                        if resync != float("inf") else "    inf")
+            print(f"{str(distances):>16} {protocol.value:>11} "
+                  f"{wait_mode.value:>9} {model.beta_kappa:5.1f} "
+                  f"{wave.speed:9.3f} r/s {resync_s:>9}")
+
+print()
+print("reading: wave speed and resync rate both grow with beta*kappa;")
+print("the WAITALL kappa rule (max distance) weakens long-distance sets.")

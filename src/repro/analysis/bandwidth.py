@@ -1,0 +1,95 @@
+"""Bandwidth-scaling analysis (reproduces Fig. 1(b) from the DES).
+
+Thin wrappers over :func:`repro.simulator.program.bandwidth_scaling`
+that add the analytic expectation and the saturation diagnosis used by
+tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator.kernels import Kernel
+from ..simulator.machine import MachineSpec
+from ..simulator.program import bandwidth_scaling
+
+__all__ = ["ScalingCurve", "analytic_bandwidth_curve", "measure_scaling",
+           "saturation_point"]
+
+
+@dataclass
+class ScalingCurve:
+    """Aggregate-bandwidth curve for one kernel.
+
+    Attributes
+    ----------
+    ranks:
+        Socket occupancies (1..cores).
+    bandwidth_GBs:
+        Achieved aggregate bandwidth per occupancy.
+    time_per_iteration:
+        Per-sweep wall time per occupancy (s).
+    analytic_GBs:
+        Closed-form expectation ``min(n * demand, ceiling)``.
+    kernel_name:
+        Which kernel.
+    saturates:
+        Whether the curve flattens within the socket.
+    saturation_ranks:
+        Analytic fractional core count where the ceiling is reached.
+    """
+
+    ranks: list[int]
+    bandwidth_GBs: list[float]
+    time_per_iteration: list[float]
+    analytic_GBs: list[float]
+    kernel_name: str
+    saturates: bool
+    saturation_ranks: float
+
+
+def analytic_bandwidth_curve(kernel: Kernel, machine: MachineSpec,
+                             ranks: list[int]) -> list[float]:
+    """Closed-form aggregate bandwidth: each of ``n`` ranks demands its
+    uncontended bandwidth until the socket ceiling caps the sum.
+
+    Under the fair-share arbiter the aggregate is exactly
+    ``min(n * demand_single, socket_bandwidth)`` for a homogeneous
+    kernel, because the in-core part stays constant while the memory
+    part stretches once the ceiling binds.
+    """
+    out = []
+    for n in ranks:
+        # Fair share available to each of n concurrent streamers:
+        rate = min(machine.core_bandwidth, machine.socket_bandwidth / n)
+        t = kernel.core_time + (kernel.traffic_bytes / rate
+                                if kernel.traffic_bytes > 0 else 0.0)
+        agg = n * kernel.traffic_bytes / t if t > 0 else 0.0
+        out.append(agg / 1e9)
+    return out
+
+
+def saturation_point(kernel: Kernel, machine: MachineSpec) -> float:
+    """Fractional core count where aggregate demand hits the ceiling."""
+    return kernel.saturation_cores(machine)
+
+
+def measure_scaling(kernel: Kernel, machine: MachineSpec | None = None,
+                    n_iterations: int = 10) -> ScalingCurve:
+    """Run the occupancy sweep in the DES and attach the analytics."""
+    m = machine or MachineSpec.meggie()
+    res = bandwidth_scaling(kernel, machine=m, n_iterations=n_iterations)
+    ranks = res["ranks"]
+    analytic = analytic_bandwidth_curve(kernel, m, ranks)
+    sat = saturation_point(kernel, m)
+    return ScalingCurve(
+        ranks=ranks,
+        bandwidth_GBs=res["bandwidth_GBs"],
+        time_per_iteration=res["time_per_iteration"],
+        analytic_GBs=analytic,
+        kernel_name=kernel.name,
+        saturates=bool(np.isfinite(sat) and sat <= m.cores_per_socket),
+        saturation_ranks=float(sat),
+    )

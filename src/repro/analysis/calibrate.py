@@ -1,0 +1,196 @@
+"""Model calibration: estimate POM parameters from observations.
+
+The paper's closing argument (Sec. 6) is that "the number of model
+parameters is very small", making the POM a cheap characterisation of a
+system.  This module closes the loop: given measurements — either an
+oscillator trajectory or a cluster trace — recover the model
+parameters that describe them.
+
+* ``sigma`` from the desynchronised state: the asymptotic |gap| is the
+  potential's first zero, so ``sigma = 3/2 * |gap|``; on the trace side
+  the wavefront slope (seconds/rank) maps to a phase gap via
+  ``gap = slope * omega``.
+* ``beta*kappa`` from an observed idle-wave speed: the model's wave
+  speed is monotone in the coupling (Sec. 5.1.1), so a bracketing
+  bisection over ``v_p_override`` inverts it.
+* cycle time from a trace: median iteration duration, split into
+  compute/communicate from the recorded activity totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import PhysicalOscillatorModel
+from ..core.noise import OneOffDelay
+from ..core.potentials import TanhPotential
+from ..core.simulation import simulate
+from ..core.topology import ring
+from ..metrics.wave import measure_wave_speed
+from ..simulator.trace import Activity, Trace
+
+__all__ = [
+    "CycleEstimate",
+    "estimate_sigma_from_gaps",
+    "estimate_sigma_from_trace",
+    "estimate_cycle_from_trace",
+    "calibrate_beta_kappa",
+    "fit_model_to_trace",
+]
+
+
+def estimate_sigma_from_gaps(gaps: np.ndarray) -> float:
+    """Invert the 2*sigma/3 law: ``sigma = 3/2 * mean |gap|``.
+
+    ``gaps`` are asymptotic adjacent phase differences (radians), signed
+    or not; ring states have mixed signs, so magnitudes are used.
+    """
+    gaps = np.asarray(gaps, dtype=float)
+    if gaps.size == 0:
+        raise ValueError("need at least one gap")
+    return 1.5 * float(np.abs(gaps).mean())
+
+
+@dataclass
+class CycleEstimate:
+    """Compute/communicate split recovered from a trace.
+
+    Attributes
+    ----------
+    t_comp:
+        Median per-iteration computation time (s).
+    t_comm:
+        Median per-iteration non-compute time (send + wait) (s).
+    period:
+        ``t_comp + t_comm`` — the oscillator period.
+    omega:
+        ``2*pi/period``.
+    """
+
+    t_comp: float
+    t_comm: float
+
+    @property
+    def period(self) -> float:
+        return self.t_comp + self.t_comm
+
+    @property
+    def omega(self) -> float:
+        return 2.0 * np.pi / self.period
+
+
+def estimate_cycle_from_trace(trace: Trace) -> CycleEstimate:
+    """Recover the compute-communicate cycle from a trace.
+
+    Uses per-rank activity totals divided by the iteration count;
+    medians across ranks reject the ranks disturbed by injections.
+    """
+    iters = trace.n_iterations
+    if iters < 1:
+        raise ValueError("empty trace")
+    comp = np.array([tl.total(Activity.COMPUTE) / iters
+                     for tl in trace.timelines])
+    comm = np.array([(tl.total(Activity.SEND) + tl.total(Activity.WAIT))
+                     / iters for tl in trace.timelines])
+    return CycleEstimate(t_comp=float(np.median(comp)),
+                         t_comm=float(np.median(comm)))
+
+
+def estimate_sigma_from_trace(trace: Trace, *, tail_fraction: float = 0.3,
+                              socket_size: int | None = None) -> float:
+    """Estimate sigma from a desynchronised cluster trace.
+
+    The computational wavefront's per-pair stagger (seconds) is a phase
+    gap of ``gap_seconds * omega`` radians; the 2*sigma/3 law then
+    gives sigma.  Returns ~0 for a lock-step trace (no bottleneck
+    evasion = scalable code: the tanh potential, which has no sigma).
+    """
+    from .desync import trace_phase_gaps
+
+    cycle = estimate_cycle_from_trace(trace)
+    gaps_seconds = trace_phase_gaps(trace, tail_fraction=tail_fraction,
+                                    socket_size=socket_size)
+    gap = float(np.mean(gaps_seconds)) * cycle.omega
+    return 1.5 * gap
+
+
+def calibrate_beta_kappa(
+    target_speed: float,
+    *,
+    n_ranks: int = 24,
+    t_comp: float = 0.9,
+    t_comm: float = 0.1,
+    bk_range: tuple[float, float] = (0.05, 64.0),
+    tol: float = 0.02,
+    max_iters: int = 24,
+    t_end: float = 200.0,
+    seed: int = 0,
+) -> dict:
+    """Find the ``beta*kappa`` whose model idle-wave speed matches a
+    measured one (ranks/s), by bisection on the monotone speed curve.
+
+    Returns ``{"beta_kappa": ..., "speed": ..., "iterations": ...,
+    "converged": ...}``.  Raises if the target lies outside the speeds
+    achievable within ``bk_range``.
+    """
+    if target_speed <= 0:
+        raise ValueError("target speed must be positive")
+    period = t_comp + t_comm
+
+    def speed_of(bk: float) -> float:
+        model = PhysicalOscillatorModel(
+            topology=ring(n_ranks, (1, -1)),
+            potential=TanhPotential(),
+            t_comp=t_comp, t_comm=t_comm,
+            v_p_override=bk / period,
+            delays=(OneOffDelay(rank=n_ranks // 4, t_start=10.0,
+                                delay=period),),
+        )
+        traj = simulate(model, t_end, seed=seed)
+        fit = measure_wave_speed(traj.ts, traj.thetas, model.omega,
+                                 n_ranks // 4, t_injection=10.0)
+        return fit.speed if np.isfinite(fit.speed) else 0.0
+
+    lo, hi = bk_range
+    s_lo, s_hi = speed_of(lo), speed_of(hi)
+    if not (s_lo <= target_speed <= s_hi):
+        raise ValueError(
+            f"target speed {target_speed:.4f} outside achievable range "
+            f"[{s_lo:.4f}, {s_hi:.4f}] for beta*kappa in {bk_range}"
+        )
+
+    speed_mid = s_lo
+    mid = lo
+    for it in range(1, max_iters + 1):
+        mid = np.sqrt(lo * hi)          # geometric bisection (decades)
+        speed_mid = speed_of(mid)
+        if abs(speed_mid - target_speed) <= tol * target_speed:
+            return {"beta_kappa": float(mid), "speed": float(speed_mid),
+                    "iterations": it, "converged": True}
+        if speed_mid < target_speed:
+            lo = mid
+        else:
+            hi = mid
+    return {"beta_kappa": float(mid), "speed": float(speed_mid),
+            "iterations": max_iters, "converged": False}
+
+
+def fit_model_to_trace(trace: Trace, *, socket_size: int | None = None
+                       ) -> dict:
+    """One-call characterisation of a cluster trace as POM parameters.
+
+    Returns the recovered cycle split, the sigma estimate (0 = scalable)
+    and a ready-to-use parameter dictionary.
+    """
+    cycle = estimate_cycle_from_trace(trace)
+    sigma = estimate_sigma_from_trace(trace, socket_size=socket_size)
+    return {
+        "t_comp": cycle.t_comp,
+        "t_comm": cycle.t_comm,
+        "period": cycle.period,
+        "omega": cycle.omega,
+        "sigma": sigma,
+        "scalable": sigma < 1e-3,
+    }

@@ -1,0 +1,127 @@
+"""Model-vs-simulator qualitative comparison (the paper's Fig. 2 logic).
+
+The paper validates the oscillator model *qualitatively*: the same
+scenario (topology x scalability class x one-off delay) must produce
+the same phenomenology on both sides — idle wave propagation and decay,
+then either resynchronisation (scalable) or a residual computational
+wavefront (bottlenecked).  :func:`compare_scenario` runs both sides and
+reports the verdicts next to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import (
+    BottleneckPotential,
+    OneOffDelay,
+    PhysicalOscillatorModel,
+    Potential,
+    TanhPotential,
+    ring,
+    simulate,
+)
+from ..core.coupling import CouplingSpec
+from ..metrics.sync import SyncState, classify
+from ..metrics.wave import measure_wave_speed
+from ..simulator.kernels import Kernel
+from ..simulator.program import paper_program, run_with_one_off_delay
+from .desync import analyze_desync
+from .idle_wave import measure_trace_wave
+
+__all__ = ["ScenarioResult", "compare_scenario"]
+
+
+@dataclass
+class ScenarioResult:
+    """Side-by-side phenomenology of one scenario.
+
+    Attributes
+    ----------
+    name:
+        Scenario label (e.g. ``"fig2a"``).
+    model_state:
+        Asymptotic verdict of the oscillator model.
+    model_wave_speed:
+        Idle-wave speed in the model (ranks/s; ``nan`` if unmeasurable).
+    model_final_spread:
+        Asymptotic co-moving phase spread (rad).
+    trace_desynchronized:
+        Whether the DES trace shows a residual wavefront.
+    trace_wave_speed:
+        Idle-wave speed in the trace (ranks/s).
+    trace_wave_speed_iters:
+        Idle-wave speed in ranks/iteration.
+    agree:
+        True when the sync/desync verdicts match.
+    """
+
+    name: str
+    model_state: SyncState
+    model_wave_speed: float
+    model_final_spread: float
+    trace_desynchronized: bool
+    trace_wave_speed: float
+    trace_wave_speed_iters: float
+    agree: bool
+
+
+def compare_scenario(
+    name: str,
+    *,
+    kernel: Kernel,
+    potential: Potential,
+    distances: tuple[int, ...],
+    n_ranks: int = 40,
+    n_iterations: int = 60,
+    t_comp: float = 0.9,
+    t_comm: float = 0.1,
+    delay_rank: int = 4,
+    model_t_end: float = 1600.0,
+    seed: int = 0,
+) -> ScenarioResult:
+    """Run one paper scenario on both the DES and the POM.
+
+    The model side injects a one-off delay (same rank) and classifies
+    the asymptotic state; the DES side runs the kernel with the same
+    topology and measures wave speed + residual desynchronisation.
+    """
+    # ------------------------------------------------------------ model
+    topo = ring(n_ranks, distances)
+    model = PhysicalOscillatorModel(
+        topology=topo,
+        potential=potential,
+        t_comp=t_comp,
+        t_comm=t_comm,
+        coupling=CouplingSpec(),
+        delays=(OneOffDelay(rank=delay_rank, t_start=10.0,
+                            delay=0.5 * (t_comp + t_comm)),),
+    )
+    traj = simulate(model, model_t_end, seed=seed)
+    verdict = classify(traj.ts, traj.thetas, model.omega)
+    wave = measure_wave_speed(traj.ts, traj.thetas, model.omega, delay_rank,
+                              t_injection=10.0)
+
+    # -------------------------------------------------------------- DES
+    spec = paper_program(kernel, n_ranks=n_ranks, n_iterations=n_iterations,
+                         distances=distances)
+    base, disturbed = run_with_one_off_delay(spec, delay_rank=delay_rank,
+                                             delay_iteration=5, seed=seed)
+    trace_wave = measure_trace_wave(base, disturbed, delay_rank)
+    socket = spec.machine.cores_per_socket
+    desync = analyze_desync(disturbed, socket_size=socket)
+
+    model_desync = verdict.state is SyncState.DESYNCHRONIZED
+    agree = model_desync == desync.is_desynchronized
+    return ScenarioResult(
+        name=name,
+        model_state=verdict.state,
+        model_wave_speed=wave.speed,
+        model_final_spread=verdict.final_spread,
+        trace_desynchronized=desync.is_desynchronized,
+        trace_wave_speed=trace_wave.speed_ranks_per_second,
+        trace_wave_speed_iters=trace_wave.speed_ranks_per_iteration,
+        agree=agree,
+    )

@@ -1,0 +1,145 @@
+"""Desynchronisation and computational-wavefront analysis of DES traces.
+
+The paper's memory-bound runs settle into a *computational wavefront*
+(Sec. 5.1.2, Fig. 2(b, d)): the ranks execute the same iteration at
+systematically staggered times, visible in the trace as a sloped front
+of iteration-end timestamps across ranks.  Scalable runs instead
+stay/return to lock-step: iteration ends are flat across ranks.
+
+The observables:
+
+* **skew** — per-iteration spread of iteration-end times across ranks,
+* **wavefront slope** — seconds of stagger per rank from a linear fit
+  over the asymptotic iterations (the trace-side analogue of the
+  oscillator phase gap ``2*sigma/3``),
+* **desync index** — asymptotic skew normalised by the iteration
+  duration (0 = lock-step, O(1) = fully staggered socket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator.trace import Trace
+
+__all__ = ["DesyncReport", "iteration_skew", "wavefront_slope",
+           "trace_phase_gaps", "analyze_desync"]
+
+
+@dataclass
+class DesyncReport:
+    """Asymptotic desynchronisation metrics of one trace.
+
+    Attributes
+    ----------
+    skew_series:
+        Iteration-end spread (max-min over ranks) per iteration, (s).
+    final_skew:
+        Mean skew over the asymptotic window (s).
+    slope_per_rank:
+        Wavefront slope: mean |d end/d rank| over the window (s/rank).
+    desync_index:
+        ``final_skew / mean_iteration_duration`` — 0 for lock-step.
+    is_desynchronized:
+        True when the desync index exceeds the threshold (0.1).
+    mean_iteration_duration:
+        Average cycle time in the window (s).
+    """
+
+    skew_series: np.ndarray
+    final_skew: float
+    slope_per_rank: float
+    desync_index: float
+    is_desynchronized: bool
+    mean_iteration_duration: float
+
+
+def iteration_skew(trace: Trace) -> np.ndarray:
+    """Spread of iteration-end times across ranks, per iteration."""
+    ends = trace.iteration_ends
+    return ends.max(axis=1) - ends.min(axis=1)
+
+
+def wavefront_slope(trace: Trace, *, tail_fraction: float = 0.3,
+                    socket_size: int | None = None) -> float:
+    """Mean absolute stagger per rank in the asymptotic window (s/rank).
+
+    When ``socket_size`` is given, the fit runs per socket and the
+    slopes are averaged — the paper's wavefronts form *within* sockets
+    (the bottleneck is per-socket memory bandwidth); across socket
+    boundaries the front resets.
+    """
+    ends = trace.iteration_ends
+    n_iters, n = ends.shape
+    k0 = int(np.floor(n_iters * (1.0 - tail_fraction)))
+    window = ends[k0:]
+    if window.shape[0] < 1:
+        raise ValueError("tail window is empty")
+
+    def fit_block(block: np.ndarray) -> float:
+        # block: (n_window, width) — fit end vs rank index per iteration.
+        width = block.shape[1]
+        if width < 2:
+            return 0.0
+        x = np.arange(width, dtype=float)
+        slopes = [abs(np.polyfit(x, row - row.mean(), 1)[0]) for row in block]
+        return float(np.mean(slopes))
+
+    if socket_size is None:
+        return fit_block(window)
+    slopes = []
+    for s0 in range(0, n, socket_size):
+        block = window[:, s0:s0 + socket_size]
+        if block.shape[1] >= 2:
+            slopes.append(fit_block(block))
+    return float(np.mean(slopes)) if slopes else 0.0
+
+
+def trace_phase_gaps(trace: Trace, *, tail_fraction: float = 0.3,
+                     socket_size: int | None = None) -> np.ndarray:
+    """Mean |adjacent iteration-end gap| per rank pair over the tail (s).
+
+    The trace-side analogue of the oscillator model's adjacent phase
+    gaps: in a computational wavefront neighbouring ranks finish each
+    iteration a fixed stagger apart.  ``socket_size`` excludes pairs
+    that straddle a socket boundary (the wavefront lives per socket;
+    boundary offsets reflect inter-socket level differences instead).
+    """
+    ends = trace.iteration_ends
+    n_iters, n = ends.shape
+    k0 = int(np.floor(n_iters * (1.0 - tail_fraction)))
+    window = ends[k0:]
+    gaps = np.abs(np.diff(window, axis=1)).mean(axis=0)   # (n-1,)
+    if socket_size is not None:
+        keep = [(i + 1) % socket_size != 0 for i in range(n - 1)]
+        gaps = gaps[np.asarray(keep, dtype=bool)]
+    return gaps
+
+
+def analyze_desync(trace: Trace, *, tail_fraction: float = 0.3,
+                   socket_size: int | None = None,
+                   threshold: float = 0.1) -> DesyncReport:
+    """Full desynchronisation report for one trace."""
+    if not (0.0 < tail_fraction <= 1.0):
+        raise ValueError("tail_fraction must be in (0, 1]")
+    skew = iteration_skew(trace)
+    n_iters = trace.n_iterations
+    k0 = int(np.floor(n_iters * (1.0 - tail_fraction)))
+    final_skew = float(skew[k0:].mean())
+
+    durations = trace.iteration_durations()[k0:]
+    mean_dur = float(durations.mean()) if durations.size else float("nan")
+
+    slope = wavefront_slope(trace, tail_fraction=tail_fraction,
+                            socket_size=socket_size)
+    index = final_skew / mean_dur if mean_dur > 0 else 0.0
+    return DesyncReport(
+        skew_series=skew,
+        final_skew=final_skew,
+        slope_per_rank=slope,
+        desync_index=float(index),
+        is_desynchronized=bool(index > threshold),
+        mean_iteration_duration=mean_dur,
+    )

@@ -1,0 +1,137 @@
+"""Analytic max-plus recurrence for compute-bound program execution.
+
+For a **compute-bound** bulk-synchronous program with eager messaging,
+the DES admits a closed-form description: iteration end times follow a
+max-plus recurrence over the communication dependencies,
+
+    start[k, i]    = end[k-1, i]
+    cend[k, i]     = start[k, i] + w[k, i]                (compute)
+    issue_m        = cend[k, i] + m * o_send              (m-th send)
+    sends_done_i   = cend[k, i] + n_sends_i * o_send
+    arrival(j->i)  = issue_m(j) + wire                    (eager)
+    end[k, i]      = max(sends_done_i, max_j arrival(j->i))
+
+This module evaluates the recurrence independently of the event engine;
+tests assert **exact** agreement with the DES for compute-bound runs
+(including one-off injections and compute noise).  It is the analytic
+backbone behind the idle-wave speed rules of ref. [4]: on a silent
+system the recurrence is a max-plus linear system whose delay
+propagation cone advances ``max(|d|)`` ranks per iteration in each
+dependency direction.
+
+It deliberately does *not* cover memory-bound kernels (bandwidth
+sharing couples ranks outside the max-plus algebra) or rendezvous
+messaging (sender blocking adds reverse dependencies) — those are what
+the DES exists for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulator.mpi import ProgramSpec
+from ..simulator.noise_injection import (
+    ComputeNoise,
+    Injection,
+    NoComputeNoise,
+    injection_matrix,
+)
+
+__all__ = ["maxplus_iteration_ends", "predicted_wave_cone"]
+
+
+def maxplus_iteration_ends(
+    spec: ProgramSpec,
+    injections: tuple[Injection, ...] | list[Injection] = (),
+    compute_noise: ComputeNoise | None = None,
+    seed: int | None = 0,
+) -> np.ndarray:
+    """Evaluate the analytic recurrence; returns ``(n_iters, n_ranks)``.
+
+    Raises for configurations outside the max-plus regime (memory
+    traffic, rendezvous protocol, barriers).
+    """
+    if spec.kernel.traffic_bytes > 0:
+        raise ValueError("max-plus recurrence requires a compute-bound "
+                         "kernel (no memory traffic)")
+    from ..core.coupling import Protocol
+    if spec.network.protocol_for(spec.message_bytes) is not Protocol.EAGER:
+        raise ValueError("max-plus recurrence covers eager messaging only")
+    if spec.barrier_interval is not None:
+        raise ValueError("max-plus recurrence does not model barriers")
+
+    n, iters = spec.n_ranks, spec.n_iterations
+    rng = np.random.default_rng(seed)
+    noise = compute_noise or NoComputeNoise()
+    w = spec.kernel.core_time + injection_matrix(tuple(injections), n, iters) \
+        + noise.realize(n, iters, rng)
+
+    o_send = spec.network.send_overhead
+    wire = spec.network.transfer_time(spec.message_bytes)
+
+    # Sender-side structure: for rank j, the (1-based) issue index of
+    # the message with distance d.
+    send_index: list[dict[int, int]] = []
+    for j in range(n):
+        idx = {}
+        for m, (_, d) in enumerate(spec.send_partners(j), start=1):
+            idx[d] = m
+        send_index.append(idx)
+
+    ends = np.zeros((iters, n))
+    prev = np.zeros(n)
+    for k in range(iters):
+        cend = prev + w[k]
+        sends_done = np.array(
+            [cend[j] + len(send_index[j]) * o_send for j in range(n)])
+        end_k = sends_done.copy()
+        for i in range(n):
+            for src, d in spec.recv_partners(i):
+                m = send_index[src][d]
+                arrival = cend[src] + m * o_send + wire
+                if arrival > end_k[i]:
+                    end_k[i] = arrival
+        ends[k] = end_k
+        prev = end_k
+    return ends
+
+
+def predicted_wave_cone(spec: ProgramSpec, source: int,
+                        iteration: int) -> np.ndarray:
+    """First iteration at which a delay at (source, iteration) reaches
+    each rank, from the dependency structure alone.
+
+    A rank's Waitall of iteration ``k`` blocks on the *same-iteration*
+    messages of its senders, so the direct receivers of the delayed
+    rank are already late in the injection iteration itself; every
+    further dependency hop adds one iteration:
+
+        arrival(rank at h dependency hops) = iteration + max(h - 1, 0).
+
+    This is the analytic speed rule of ref. [4] (``max(|d|)`` ranks per
+    iteration per direction).  Returns the arrival iteration per rank.
+    """
+    n = spec.n_ranks
+    # Dependency hop distance by layer-wise BFS over "i receives from
+    # i - d" edges.
+    hops = np.full(n, -1, dtype=np.int64)
+    hops[source] = 0
+    layer = {source}
+    h = 0
+    while layer:
+        h += 1
+        nxt = set()
+        for i in range(n):
+            if hops[i] >= 0:
+                continue
+            for src, _ in spec.recv_partners(i):
+                if hops[src] >= 0 and hops[src] == h - 1:
+                    nxt.add(i)
+                    break
+        for i in nxt:
+            hops[i] = h
+        layer = nxt
+    arrive = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    reached = hops >= 0
+    arrive[reached] = iteration + np.maximum(hops[reached] - 1, 0)
+    return arrive

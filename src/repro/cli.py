@@ -1,0 +1,212 @@
+"""Command-line interface: ``pom`` / ``python -m repro``.
+
+Subcommands
+-----------
+``pom list``
+    Show the available experiments.
+``pom run <experiment> [--out DIR]``
+    Regenerate one paper artefact (CSV written to --out).
+``pom model ...``
+    Free-form oscillator-model run with ASCII output — the scriptable
+    replacement for the paper's MATLAB GUI.
+``pom trace ...``
+    Free-form cluster-simulator run with an ASCII trace timeline.
+``pom report <file.md> [--full]``
+    Run the whole experiment suite and write a markdown reproduction
+    report (quick configurations by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import (
+    OneOffDelay,
+    PhysicalOscillatorModel,
+    initial_from_name,
+    potential_from_name,
+    ring,
+    simulate,
+)
+from .core.coupling import CouplingSpec, Protocol, WaitMode
+from .experiments.registry import get_experiment, list_experiments
+from .metrics.sync import classify
+from .simulator import (
+    Injection,
+    kernel_from_name,
+    paper_program,
+    run_program,
+)
+from .viz.ascii import circle_diagram, heatmap, timeline
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="pom",
+        description="Physical Oscillator Model for Supercomputing — "
+                    "reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible paper artefacts")
+
+    run_p = sub.add_parser("run", help="regenerate one paper artefact")
+    run_p.add_argument("experiment", help="experiment name (see `pom list`)")
+    run_p.add_argument("--out", default=None,
+                       help="directory for CSV output (default: no files)")
+
+    model_p = sub.add_parser("model", help="run the oscillator model")
+    model_p.add_argument("--n", type=int, default=24, help="oscillators")
+    model_p.add_argument("--potential", default="tanh",
+                         help="tanh | bottleneck | kuramoto | linear")
+    model_p.add_argument("--sigma", type=float, default=1.0,
+                         help="bottleneck interaction horizon")
+    model_p.add_argument("--distances", default="1,-1",
+                         help="comma-separated distance set, e.g. 1,-1,-2")
+    model_p.add_argument("--t-comp", type=float, default=0.9)
+    model_p.add_argument("--t-comm", type=float, default=0.1)
+    model_p.add_argument("--t-end", type=float, default=300.0)
+    model_p.add_argument("--protocol", default="eager",
+                         choices=["eager", "rendezvous"])
+    model_p.add_argument("--waitall", action="store_true",
+                         help="group waits in one MPI_Waitall (kappa = max)")
+    model_p.add_argument("--initial", default="sync",
+                         help="sync | perturbed | random | splayed")
+    model_p.add_argument("--delay-rank", type=int, default=None,
+                         help="inject a one-off delay on this rank")
+    model_p.add_argument("--delay", type=float, default=2.0,
+                         help="one-off delay duration (s)")
+    model_p.add_argument("--seed", type=int, default=0)
+    model_p.add_argument("--view", default="phases",
+                         choices=["phases", "circle", "summary"])
+
+    report_p = sub.add_parser("report",
+                              help="write a markdown reproduction report")
+    report_p.add_argument("path", help="output .md file")
+    report_p.add_argument("--full", action="store_true",
+                          help="paper-scale configurations (slower)")
+
+    trace_p = sub.add_parser("trace", help="run the MPI cluster simulator")
+    trace_p.add_argument("--kernel", default="pisolver",
+                         help="pisolver | stream | schoenauer")
+    trace_p.add_argument("--ranks", type=int, default=40)
+    trace_p.add_argument("--iters", type=int, default=40)
+    trace_p.add_argument("--distances", default="1,-1")
+    trace_p.add_argument("--delay-rank", type=int, default=None)
+    trace_p.add_argument("--delay-iter", type=int, default=5)
+    trace_p.add_argument("--delay-multiple", type=float, default=3.0,
+                         help="delay as a multiple of the sweep time")
+    trace_p.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def _parse_distances(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.split(",") if x.strip())
+    except ValueError as exc:
+        raise SystemExit(f"bad distance set {text!r}: {exc}") from exc
+
+
+def _cmd_list() -> int:
+    for name, desc in list_experiments():
+        print(f"{name:>12}  {desc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    exp = get_experiment(args.experiment)
+    print(f"[{exp.id}] {exp.description}")
+    result = exp.runner(out_dir=args.out) if args.out else exp.runner()
+    print(result)
+    if args.out:
+        print(f"CSV written to {args.out}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    distances = _parse_distances(args.distances)
+    potential = (potential_from_name(args.potential, sigma=args.sigma)
+                 if args.potential.startswith("bottle")
+                 else potential_from_name(args.potential))
+    delays = ()
+    if args.delay_rank is not None:
+        delays = (OneOffDelay(rank=args.delay_rank,
+                              t_start=0.1 * args.t_end, delay=args.delay),)
+    model = PhysicalOscillatorModel(
+        topology=ring(args.n, distances),
+        potential=potential,
+        t_comp=args.t_comp,
+        t_comm=args.t_comm,
+        coupling=CouplingSpec(
+            protocol=Protocol(args.protocol),
+            wait_mode=WaitMode.WAITALL if args.waitall else WaitMode.SEPARATE,
+        ),
+        delays=delays,
+    )
+    theta0 = initial_from_name(args.initial, args.n) \
+        if args.initial != "splayed" \
+        else initial_from_name("splayed", args.n, gap=2 * args.sigma / 3)
+    traj = simulate(model, args.t_end, theta0=theta0, seed=args.seed)
+    verdict = classify(traj.ts, traj.thetas, model.omega)
+
+    print(f"N={args.n} potential={potential.name} beta*kappa="
+          f"{model.beta_kappa:g} v_p={model.v_p:g}")
+    if args.view == "circle":
+        print(circle_diagram(traj.final_phases, title="asymptotic phases"))
+    elif args.view == "phases":
+        print(heatmap(traj.lagger_normalized(),
+                      title="lagger-normalised phases (ranks x time)"))
+    print(f"verdict: {verdict.state.value}  spread={verdict.final_spread:.4f} "
+          f"|gap|={verdict.mean_abs_gap:.4f}  r={verdict.r_final:.4f}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    kernel = kernel_from_name(args.kernel)
+    distances = _parse_distances(args.distances)
+    spec = paper_program(kernel, n_ranks=args.ranks, n_iterations=args.iters,
+                         distances=distances)
+    injections = ()
+    if args.delay_rank is not None:
+        extra = args.delay_multiple * kernel.single_core_time(spec.machine)
+        injections = (Injection(rank=args.delay_rank,
+                                iteration=args.delay_iter, extra_time=extra),)
+    trace = run_program(spec, injections=injections, seed=args.seed)
+    print(timeline(trace.wait_matrix(),
+                   title=f"{kernel.name}: waits (ranks x iterations)"))
+    print(f"makespan={trace.makespan:.4f}s  total wait={trace.total_wait():.4f}s")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .viz.report import generate_report
+
+    path = generate_report(args.path, quick=not args.full)
+    print(f"report written to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "model":
+        return _cmd_model(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

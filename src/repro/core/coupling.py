@@ -1,0 +1,117 @@
+"""Coupling-strength computation (paper Sec. 3.1).
+
+The physical oscillator model scales the interaction term by
+
+    v_p = beta * kappa / (t_comp + t_comm)
+
+motivated by the analytic idle-wave model of Afzal et al. [4]:
+
+* ``beta`` encodes the messaging protocol — eager sends complete without
+  the receiver's participation (``beta = 1``); rendezvous sends couple
+  the two processes more tightly (``beta = 2``).
+* ``kappa`` encodes the communication distances — the sum over all
+  distances of the topology, or only the *longest* distance when all
+  outstanding non-blocking requests are grouped in one ``MPI_Waitall``
+  (the waits then overlap instead of chaining).
+
+The product ``beta * kappa`` is the key dimensionless knob of Sec. 5.1:
+``beta*kappa ~ 0`` means free-running processes, ``beta*kappa = 1`` is
+next-neighbour coupling with the slowest possible idle wave, large
+``beta*kappa`` makes the system stiff and strongly synchronising.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .topology import Topology
+
+__all__ = ["Protocol", "WaitMode", "CouplingSpec"]
+
+
+class Protocol(enum.Enum):
+    """MPI point-to-point messaging protocol.
+
+    ``EAGER``: small messages are shipped immediately and buffered at the
+    receiver; the sender never blocks (beta = 1).
+    ``RENDEZVOUS``: large messages wait for the matching receive before
+    the transfer starts; sender and receiver handshake (beta = 2).
+    """
+
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+
+    @property
+    def beta(self) -> float:
+        """Idle-wave speed multiplier from the analytic model [4]."""
+        return 1.0 if self is Protocol.EAGER else 2.0
+
+
+class WaitMode(enum.Enum):
+    """How outstanding non-blocking requests are completed.
+
+    ``SEPARATE``: one ``MPI_Wait`` per request — the waits chain, so all
+    distances contribute (kappa = sum of |distances|).
+    ``WAITALL``: a single ``MPI_Waitall`` over all partners — the waits
+    overlap, so only the longest distance matters (kappa = max).
+    """
+
+    SEPARATE = "separate"
+    WAITALL = "waitall"
+
+
+@dataclass(frozen=True)
+class CouplingSpec:
+    """Everything needed to compute the coupling strength ``v_p``.
+
+    Parameters
+    ----------
+    protocol:
+        Eager or rendezvous messaging (sets beta).
+    wait_mode:
+        Separate waits vs. one grouped waitall (sets the kappa rule).
+    strength_scale:
+        Optional extra multiplier on ``v_p`` for parameter studies
+        (default 1.0 — the paper's formula verbatim).
+    """
+
+    protocol: Protocol = Protocol.EAGER
+    wait_mode: WaitMode = WaitMode.SEPARATE
+    strength_scale: float = 1.0
+
+    @property
+    def beta(self) -> float:
+        """Protocol factor (1 eager, 2 rendezvous)."""
+        return self.protocol.beta
+
+    def kappa(self, topology: Topology) -> float:
+        """Distance factor for the given topology under the wait rule."""
+        return topology.kappa(waitall_grouped=self.wait_mode is WaitMode.WAITALL)
+
+    def beta_kappa(self, topology: Topology) -> float:
+        """The dimensionless stiffness knob ``beta * kappa``."""
+        return self.beta * self.kappa(topology)
+
+    def v_p(self, topology: Topology, t_comp: float, t_comm: float) -> float:
+        """Coupling strength ``v_p = beta * kappa / (t_comp + t_comm)``.
+
+        Raises if the cycle time is not positive.
+        """
+        cycle = t_comp + t_comm
+        if cycle <= 0:
+            raise ValueError("t_comp + t_comm must be positive")
+        return self.strength_scale * self.beta * self.kappa(topology) / cycle
+
+    def describe(self, topology: Topology | None = None) -> dict:
+        """Metadata dictionary used by exporters."""
+        d = {
+            "protocol": self.protocol.value,
+            "wait_mode": self.wait_mode.value,
+            "beta": self.beta,
+            "strength_scale": self.strength_scale,
+        }
+        if topology is not None:
+            d["kappa"] = self.kappa(topology)
+            d["beta_kappa"] = self.beta_kappa(topology)
+        return d

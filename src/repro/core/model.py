@@ -1,0 +1,331 @@
+"""The physical oscillator model (paper Eq. 2) and the Kuramoto baseline.
+
+The POM describes ``N`` MPI processes as coupled oscillators:
+
+.. math::
+
+    \\dot\\theta_i(t) = \\frac{2\\pi}{t_{comp} + t_{comm} + \\zeta_i(t)}
+        + \\frac{v_p}{N} \\sum_{j=1}^{N} T_{ij}
+          V\\big(\\theta_j(t - \\tau_{ij}(t)) - \\theta_i(t)\\big)
+
+with
+
+* intrinsic frequency set by the compute-communicate cycle duration,
+* process-local noise ``zeta_i`` (jitter / load imbalance / injected
+  one-off delays) perturbing the period,
+* a 0/1 topology matrix ``T`` (sparse communication structure),
+* an interaction potential ``V`` (scalable: tanh; bottlenecked:
+  short-range-repulsive sine/sgn),
+* coupling strength ``v_p = beta * kappa / (t_comp + t_comm)``,
+* optional interaction delays ``tau_ij`` that turn the ODE into a DDE.
+
+:class:`PhysicalOscillatorModel` is a declarative description; calling
+:meth:`~PhysicalOscillatorModel.realize` freezes the random noise
+channels into a :class:`RealizedModel` whose ``rhs`` is a plain function
+of ``(t, theta)`` suitable for any explicit integrator.
+
+:class:`KuramotoModel` implements the unmodified Eq. 1 (all-to-all
+``sin`` coupling) as the comparison baseline the paper argues against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..integrate.history import HistoryBuffer
+from .coupling import CouplingSpec
+from .noise import (
+    DelaySchedule,
+    InteractionNoise,
+    LocalNoise,
+    NoInteractionNoise,
+    NoNoise,
+    OneOffDelay,
+    TauField,
+    ZetaProcess,
+)
+from .potentials import Potential
+from .topology import Topology
+
+__all__ = ["PhysicalOscillatorModel", "RealizedModel", "KuramotoModel"]
+
+
+@dataclass
+class PhysicalOscillatorModel:
+    """Declarative description of the POM (Eq. 2).
+
+    Parameters
+    ----------
+    topology:
+        Communication topology ``T_ij``.
+    potential:
+        Interaction potential ``V``.
+    t_comp, t_comm:
+        Durations of the computation and communication phase of one
+        cycle (seconds); the natural period is their sum.
+    coupling:
+        Protocol/wait-mode specification that determines
+        ``v_p = beta*kappa/(t_comp+t_comm)``.
+    local_noise:
+        ``zeta_i(t)`` channel (default: silent system).
+    interaction_noise:
+        ``tau_ij(t)`` channel (default: no delays — pure ODE).
+    delays:
+        One-off extra-workload injections (idle-wave triggers).
+    v_p_override:
+        If set, bypasses the coupling formula and uses this coupling
+        strength directly (used by parameter sweeps that scan ``v_p``
+        or ``beta*kappa`` continuously).
+    """
+
+    topology: Topology
+    potential: Potential
+    t_comp: float
+    t_comm: float
+    coupling: CouplingSpec = field(default_factory=CouplingSpec)
+    local_noise: LocalNoise = field(default_factory=NoNoise)
+    interaction_noise: InteractionNoise = field(default_factory=NoInteractionNoise)
+    delays: Sequence[OneOffDelay] = ()
+    v_p_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.t_comp < 0 or self.t_comm < 0:
+            raise ValueError("t_comp and t_comm must be non-negative")
+        if self.t_comp + self.t_comm <= 0:
+            raise ValueError("the cycle time t_comp + t_comm must be positive")
+        for d in self.delays:
+            if d.rank >= self.topology.n:
+                raise ValueError(
+                    f"one-off delay rank {d.rank} out of range "
+                    f"(N={self.topology.n})"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of oscillators."""
+        return self.topology.n
+
+    @property
+    def period(self) -> float:
+        """Unperturbed cycle time ``T = t_comp + t_comm``."""
+        return self.t_comp + self.t_comm
+
+    @property
+    def omega(self) -> float:
+        """Unperturbed angular frequency ``2*pi/T``."""
+        return 2.0 * np.pi / self.period
+
+    @property
+    def v_p(self) -> float:
+        """Coupling strength (override or the Sec. 3.1 formula)."""
+        if self.v_p_override is not None:
+            return float(self.v_p_override)
+        return self.coupling.v_p(self.topology, self.t_comp, self.t_comm)
+
+    @property
+    def beta_kappa(self) -> float:
+        """Dimensionless stiffness ``beta*kappa`` (from the formula)."""
+        if self.v_p_override is not None:
+            return float(self.v_p_override) * self.period
+        return self.coupling.beta_kappa(self.topology)
+
+    # ------------------------------------------------------------------
+    def realize(self, t_end: float,
+                rng: np.random.Generator | int | None = None) -> "RealizedModel":
+        """Freeze all stochastic channels for a concrete run.
+
+        Parameters
+        ----------
+        t_end:
+            Horizon the noise realisations must cover.
+        rng:
+            Generator or integer seed; ``None`` uses fresh entropy.
+        """
+        if t_end <= 0:
+            raise ValueError("t_end must be positive")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        zeta = self.local_noise.realize(self.n, t_end, rng)
+        tau = self.interaction_noise.realize(self.n, t_end, rng)
+        schedule = DelaySchedule(self.delays, self.period)
+        return RealizedModel(model=self, zeta=zeta, tau=tau,
+                             delay_schedule=schedule)
+
+    def describe(self) -> dict:
+        """Metadata dictionary used by exporters."""
+        return {
+            "n": self.n,
+            "t_comp": self.t_comp,
+            "t_comm": self.t_comm,
+            "period": self.period,
+            "omega": self.omega,
+            "v_p": self.v_p,
+            "beta_kappa": self.beta_kappa,
+            "potential": self.potential.describe(),
+            "topology": self.topology.describe(),
+            "coupling": self.coupling.describe(self.topology),
+            "local_noise": self.local_noise.describe(),
+            "interaction_noise": self.interaction_noise.describe(),
+            "delays": DelaySchedule(self.delays, self.period).describe(),
+        }
+
+
+class RealizedModel:
+    """A POM with frozen noise: a deterministic RHS ``f(t, theta)``.
+
+    Adaptive solvers evaluate the RHS at arbitrary, repeated times, so
+    every random channel must be a function of time only — this object
+    guarantees that.
+    """
+
+    def __init__(self, model: PhysicalOscillatorModel, zeta: ZetaProcess,
+                 tau: TauField, delay_schedule: DelaySchedule) -> None:
+        self.model = model
+        self.zeta = zeta
+        self.tau = tau
+        self.delay_schedule = delay_schedule
+        self._T = model.topology.matrix          # (n, n)
+        self._coupled = self._T != 0.0           # bool mask
+        self._row_has_edge = self._coupled.any(axis=1)
+        self._vp_over_n = model.v_p / model.n
+        self._period = model.period
+        self._n = model.n
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of oscillators."""
+        return self._n
+
+    @property
+    def has_delays(self) -> bool:
+        """True if the interaction-noise channel actually delays."""
+        return not self.tau.is_zero
+
+    def max_delay(self) -> float:
+        """History horizon needed by the DDE integrator."""
+        return self.tau.max_delay()
+
+    # ------------------------------------------------------------------
+    def intrinsic_frequency(self, t: float) -> np.ndarray:
+        """Per-process frequency ``2*pi/(T + zeta_i(t) + delay terms)``.
+
+        A non-positive or infinite effective period yields frequency 0
+        (a fully stalled process), which is the exact meaning of a
+        one-off full-stall injection.
+        """
+        denom = self._period + self.zeta(t) + self.delay_schedule(t, self._n)
+        freq = np.zeros(self._n)
+        good = np.isfinite(denom) & (denom > 0.0)
+        freq[good] = 2.0 * np.pi / denom[good]
+        return freq
+
+    def coupling_term(self, t: float, theta: np.ndarray,
+                      history: HistoryBuffer | None = None) -> np.ndarray:
+        """Interaction term ``(v_p/N) * sum_j T_ij V(theta_j^(del) - theta_i)``."""
+        if self._vp_over_n == 0.0:
+            return np.zeros(self._n)
+
+        if not self.has_delays or history is None:
+            dmat = theta[None, :] - theta[:, None]     # d[i, j] = th_j - th_i
+            vmat = np.asarray(self.model.potential(dmat), dtype=float)
+            return self._vp_over_n * (self._T * vmat).sum(axis=1)
+
+        # Delayed partner phases: evaluate the history once per distinct
+        # delay value (tau fields are piecewise constant with few levels).
+        tau_now = self.tau(t)
+        dmat = np.empty((self._n, self._n))
+        uniq = np.unique(tau_now[self._coupled]) if self._coupled.any() else []
+        dmat[:] = theta[None, :] - theta[:, None]
+        for v in uniq:
+            if v == 0.0:
+                continue
+            delayed = history(t - float(v))            # theta vector at t - v
+            mask = self._coupled & (tau_now == v)
+            jj = np.nonzero(mask)[1]
+            dmat[mask] = delayed[jj] - theta[np.nonzero(mask)[0]]
+        vmat = np.asarray(self.model.potential(dmat), dtype=float)
+        return self._vp_over_n * (self._T * vmat).sum(axis=1)
+
+    def rhs(self, t: float, theta: np.ndarray,
+            history: HistoryBuffer | None = None) -> np.ndarray:
+        """Full right-hand side of Eq. 2."""
+        return self.intrinsic_frequency(t) + self.coupling_term(t, theta, history)
+
+    def make_ode_rhs(self):
+        """Closure ``f(t, theta)`` for ODE solvers (requires no delays)."""
+        if self.has_delays:
+            raise ValueError(
+                "model has interaction delays; use make_dde_rhs with a history"
+            )
+        return lambda t, y: self.rhs(t, y, None)
+
+    def make_dde_rhs(self, history: HistoryBuffer):
+        """Closure ``f(t, theta)`` that reads delayed states from ``history``."""
+        return lambda t, y: self.rhs(t, y, history)
+
+
+@dataclass
+class KuramotoModel:
+    """The plain Kuramoto model (paper Eq. 1) — baseline comparator.
+
+    .. math::
+
+        \\dot\\theta_i = \\omega_i + \\frac{K}{N} \\sum_j
+            \\sin(\\theta_j - \\theta_i)
+
+    All-to-all coupling, periodic sinusoidal potential, optionally
+    heterogeneous natural frequencies.  The paper lists three reasons it
+    cannot describe parallel programs (global coupling = per-cycle
+    barrier; no desynchronised equilibria; 2*pi phase slips); the
+    benchmark :mod:`benchmarks.bench_kuramoto_baseline` demonstrates all
+    three against the POM.
+    """
+
+    n: int
+    coupling_k: float
+    omega: Sequence[float] | float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("need at least two oscillators")
+        om = np.asarray(self.omega, dtype=float)
+        if om.ndim == 0:
+            om = np.full(self.n, float(om))
+        if om.shape != (self.n,):
+            raise ValueError(f"omega has shape {om.shape}, expected ({self.n},)")
+        self._omega_vec = om
+
+    @property
+    def omega_vec(self) -> np.ndarray:
+        """Natural frequencies, shape ``(n,)``."""
+        return self._omega_vec
+
+    def rhs(self, t: float, theta: np.ndarray) -> np.ndarray:
+        """Right-hand side of Eq. 1 (vectorised)."""
+        dmat = theta[None, :] - theta[:, None]
+        return self._omega_vec + (self.coupling_k / self.n) * np.sin(dmat).sum(axis=1)
+
+    def make_ode_rhs(self):
+        """Closure for the ODE solvers."""
+        return self.rhs
+
+    def critical_coupling(self, gamma: float) -> float:
+        """Onset of synchronisation ``K_c = 2*gamma`` for a Lorentzian
+        frequency distribution with half-width ``gamma`` (classic result,
+        Strogatz 2000) — used in baseline validation tests."""
+        return 2.0 * gamma
+
+    def describe(self) -> dict:
+        """Metadata dictionary used by exporters."""
+        return {
+            "model": "kuramoto",
+            "n": self.n,
+            "K": self.coupling_k,
+            "omega_mean": float(self._omega_vec.mean()),
+            "omega_std": float(self._omega_vec.std()),
+        }

@@ -1,0 +1,33 @@
+"""Paper-artefact reproductions: one module per figure/claim.
+
+* :mod:`fig1a` — the two interaction potentials (Fig. 1(a));
+* :mod:`fig1b` — socket bandwidth scaling (Fig. 1(b));
+* :mod:`fig2` — the four-panel MPI-vs-model analogy (Fig. 2);
+* :mod:`sweeps` — beta*kappa sweep (Sec. 5.1.1), sigma sweep
+  (Sec. 5.2.2), and the plain-Kuramoto baseline (Sec. 2.2.2);
+* :mod:`registry` — id -> runner table used by the CLI and benches.
+"""
+
+from .fig1a import Fig1aResult, run_fig1a
+from .fig1b import Fig1bResult, run_fig1b
+from .fig2 import Fig2Result, PanelResult, run_fig2, run_panel
+from .registry import REGISTRY, Experiment, get_experiment, list_experiments
+from .supermuc import SupermucResult, run_supermuc
+from .sweeps import (
+    BetaKappaSweep,
+    KuramotoBaseline,
+    SigmaSweep,
+    kuramoto_baseline,
+    sweep_beta_kappa,
+    sweep_sigma,
+)
+
+__all__ = [
+    "Fig1aResult", "run_fig1a",
+    "Fig1bResult", "run_fig1b",
+    "Fig2Result", "PanelResult", "run_fig2", "run_panel",
+    "REGISTRY", "Experiment", "get_experiment", "list_experiments",
+    "SupermucResult", "run_supermuc",
+    "BetaKappaSweep", "KuramotoBaseline", "SigmaSweep",
+    "kuramoto_baseline", "sweep_beta_kappa", "sweep_sigma",
+]

@@ -1,0 +1,108 @@
+"""FIG1B — Fig. 1(b): socket-level scalability of the microbenchmarks.
+
+Reproduces the memory-bandwidth-vs-cores curves on a (simulated) Meggie
+socket for the paper's three kernels:
+
+* STREAM triad — saturates the 68 GB/s socket at ~5 cores,
+* "slow" Schönauer triad — lower per-core demand (cosine + division),
+  saturates near the full socket,
+* PISOLVER — no memory traffic, scales linearly (plotted here as
+  per-sweep runtime constancy and zero bandwidth footprint).
+
+The paper's claims checked downstream: the *ordering* of single-core
+bandwidths (STREAM > Schönauer > PISOLVER~0), the saturation of both
+triads at the same ceiling, and STREAM saturating at fewer cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.bandwidth import ScalingCurve, measure_scaling
+from ..simulator.kernels import (
+    PiSolverKernel,
+    SchoenauerTriadKernel,
+    StreamTriadKernel,
+)
+from ..simulator.machine import MachineSpec
+from ..viz.export import write_csv
+
+__all__ = ["Fig1bResult", "run_fig1b"]
+
+
+@dataclass
+class Fig1bResult:
+    """The three scaling curves of Fig. 1(b).
+
+    Attributes
+    ----------
+    stream, schoenauer, pisolver:
+        Per-kernel curves (ranks, achieved aggregate bandwidth, sweep
+        time, analytic expectation).
+    machine:
+        The machine metadata.
+    """
+
+    stream: ScalingCurve
+    schoenauer: ScalingCurve
+    pisolver: ScalingCurve
+    machine: dict
+
+    def summary_rows(self) -> list[dict]:
+        """Flat rows (one per kernel x occupancy) for reports."""
+        rows = []
+        for curve in (self.stream, self.schoenauer, self.pisolver):
+            for n, bw, t in zip(curve.ranks, curve.bandwidth_GBs,
+                                curve.time_per_iteration):
+                rows.append({
+                    "kernel": curve.kernel_name,
+                    "ranks_per_socket": n,
+                    "bandwidth_GBs": bw,
+                    "time_per_iteration": t,
+                })
+        return rows
+
+
+def run_fig1b(
+    *,
+    machine: MachineSpec | None = None,
+    array_elements: float = 4e6,
+    n_iterations: int = 8,
+    out_dir: str | Path | None = None,
+) -> Fig1bResult:
+    """Run the occupancy sweep for all three kernels.
+
+    ``array_elements`` scales the triad working sets; the default keeps
+    the DES fast while staying far above any cache (the kernel model has
+    no cache anyway — the >=10x LLC rule of the paper is honoured by
+    construction).
+    """
+    m = machine or MachineSpec.meggie()
+    stream = measure_scaling(StreamTriadKernel(array_elements), m,
+                             n_iterations=n_iterations)
+    schoen = measure_scaling(SchoenauerTriadKernel(array_elements), m,
+                             n_iterations=n_iterations)
+    pisolver = measure_scaling(PiSolverKernel(1e6), m,
+                               n_iterations=n_iterations)
+    result = Fig1bResult(stream=stream, schoenauer=schoen, pisolver=pisolver,
+                         machine=m.describe())
+
+    if out_dir is not None:
+        for curve in (stream, schoen, pisolver):
+            write_csv(
+                Path(out_dir) / f"fig1b_{curve.kernel_name}.csv",
+                {
+                    "ranks_per_socket": curve.ranks,
+                    "bandwidth_GBs": curve.bandwidth_GBs,
+                    "analytic_GBs": curve.analytic_GBs,
+                    "time_per_iteration_s": curve.time_per_iteration,
+                },
+                meta={
+                    "experiment": "FIG1B",
+                    "kernel": curve.kernel_name,
+                    "saturation_ranks": curve.saturation_ranks,
+                    "machine": result.machine,
+                },
+            )
+    return result

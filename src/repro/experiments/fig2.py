@@ -1,0 +1,295 @@
+"""FIG2 — Fig. 2: the four-panel MPI-vs-model analogy.
+
+The paper's central evaluation: four scenarios spanning
+{scalable, bottlenecked} x {d = ±1, d = ±1,-2}, each shown as an MPI
+trace (inset) plus the oscillator model's asymptotic phase state
+(circle).  The phenomenology to reproduce:
+
+* (a) scalable, d=±1 — a one-off delay launches an idle wave that
+  ripples at the minimum speed (1 rank/iteration) and the system
+  resynchronises;
+* (b) bottlenecked, d=±1 — the idle wave has an extra decay channel and
+  leaves behind a *computational wavefront* (persistent desync with
+  |adjacent gap| = 2*sigma/3);
+* (c) scalable, d=±1,-2 — same resynchronisation, faster wave;
+* (d) bottlenecked, d=±1,-2 — stiffer communication: the delay
+  propagates ~3x faster than (b) and the asymptotic phase spread is
+  correspondingly smaller.
+
+The sigma of the bottleneck potential encodes communication stiffness
+(Sec. 5.2.2); following the paper's observation that the (b) -> (d)
+topology change tripled the propagation speed, the defaults use
+``sigma_d = sigma_b / 3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.desync import DesyncReport, analyze_desync
+from ..analysis.idle_wave import TraceWaveFit, measure_trace_wave
+from ..core import (
+    BottleneckPotential,
+    OneOffDelay,
+    PhysicalOscillatorModel,
+    TanhPotential,
+    ring,
+    simulate,
+)
+from ..metrics.sync import SyncVerdict, classify
+from ..metrics.wave import WaveFit, measure_wave_speed
+from ..simulator.kernels import PiSolverKernel, StreamTriadKernel
+from ..simulator.program import paper_program, run_with_one_off_delay
+from ..viz.export import write_csv, write_matrix
+
+__all__ = ["PanelResult", "Fig2Result", "run_panel", "run_fig2"]
+
+#: time of the model-side one-off delay injection (seconds)
+_T_INJECT = 20.0
+
+
+@dataclass
+class PanelResult:
+    """One Fig. 2 panel: model + trace phenomenology side by side.
+
+    Attributes
+    ----------
+    name:
+        Panel id ("fig2a".."fig2d").
+    scalable:
+        True for the PISOLVER/tanh panels.
+    distances:
+        The communication distance set.
+    model_verdict:
+        Asymptotic sync/desync classification of the POM run.
+    model_wave:
+        Idle-wave fit on the model phases.
+    model_spread:
+        Asymptotic co-moving phase spread (radians) of the run *with*
+        the one-off delay (the injected deficit freezes extra domain
+        walls into bottlenecked states, widening this value).
+    model_spread_clean:
+        Asymptotic spread of a companion run without the delay — the
+        intrinsic spread of the scenario, the quantity behind the
+        paper's "corresponding decrease in phase spread" comparison.
+    model_gap:
+        Asymptotic |adjacent gap| (radians; ~2*sigma/3 for bottleneck).
+    trace_wave:
+        Idle-wave fit on the DES trace pair.
+    trace_desync:
+        Wavefront report on the disturbed DES trace.
+    sigma:
+        Bottleneck sigma used (None for scalable panels).
+    """
+
+    name: str
+    scalable: bool
+    distances: tuple[int, ...]
+    model_verdict: SyncVerdict
+    model_wave: WaveFit
+    model_spread: float
+    model_spread_clean: float
+    model_gap: float
+    trace_wave: TraceWaveFit
+    trace_desync: DesyncReport
+    sigma: float | None
+
+    @property
+    def agrees_with_paper(self) -> bool:
+        """Sync/desync verdicts on both sides match the paper's panel."""
+        want_desync = not self.scalable
+        model_ok = self.model_verdict.is_desynchronized == want_desync
+        trace_ok = self.trace_desync.is_desynchronized == want_desync
+        return model_ok and trace_ok
+
+
+@dataclass
+class Fig2Result:
+    """All four panels plus the cross-panel ratios the paper quotes."""
+
+    panels: dict[str, PanelResult]
+    trace_speed_ratio_d_over_b: float
+    model_speed_ratio_d_over_b: float
+    model_spread_ratio_b_over_d: float
+
+    def all_panels_agree(self) -> bool:
+        """Every panel reproduces the paper's qualitative verdicts."""
+        return all(p.agrees_with_paper for p in self.panels.values())
+
+
+def run_panel(
+    name: str,
+    *,
+    scalable: bool,
+    distances: tuple[int, ...],
+    sigma: float | None = None,
+    n_ranks: int = 40,
+    n_iterations: int = 50,
+    t_comp: float = 0.9,
+    t_comm: float = 0.1,
+    t_end: float | None = None,
+    delay_rank: int = 4,
+    seed: int = 0,
+    array_elements: float = 4e6,
+    out_dir: str | Path | None = None,
+) -> PanelResult:
+    """Run one Fig. 2 panel on both the model and the simulator.
+
+    ``t_end`` defaults per panel class: scalable panels need the long
+    spectral-gap-limited resynchronisation horizon (4000 s at the
+    default coupling), bottlenecked panels settle within 1600 s.
+    """
+    if t_end is None:
+        t_end = 4000.0 if scalable else 1600.0
+    # ----------------------------------------------------------- model
+    topo = ring(n_ranks, distances)
+    if scalable:
+        potential = TanhPotential()
+    else:
+        if sigma is None:
+            raise ValueError("bottlenecked panels need sigma")
+        potential = BottleneckPotential(sigma=sigma)
+    model = PhysicalOscillatorModel(
+        topology=topo,
+        potential=potential,
+        t_comp=t_comp,
+        t_comm=t_comm,
+            delays=(OneOffDelay(rank=delay_rank, t_start=_T_INJECT,
+                            delay=0.5 * (t_comp + t_comm)),),
+    )
+    # A tiny symmetric-breaking perturbation seeds desynchronisation in
+    # the bottlenecked panels (the paper: "any slight disturbance blows
+    # up"); it is irrelevant for the scalable ones.
+    rng = np.random.default_rng(seed)
+    theta0 = rng.normal(0.0, 1e-3, size=n_ranks)
+    traj = simulate(model, t_end, theta0=theta0, seed=seed)
+
+    verdict = classify(traj.ts, traj.thetas, model.omega)
+    model_wave = measure_wave_speed(traj.ts, traj.thetas, model.omega,
+                                    delay_rank, t_injection=_T_INJECT)
+
+    # Companion run without the delay: the scenario's intrinsic
+    # asymptotic spread (the delay scar otherwise widens it).
+    model_clean = PhysicalOscillatorModel(
+        topology=topo, potential=potential, t_comp=t_comp, t_comm=t_comm)
+    traj_clean = simulate(model_clean, t_end, theta0=theta0, seed=seed)
+    verdict_clean = classify(traj_clean.ts, traj_clean.thetas,
+                             model_clean.omega)
+
+    # ------------------------------------------------------------- DES
+    kernel = (PiSolverKernel(1e6) if scalable
+              else StreamTriadKernel(array_elements))
+    spec = paper_program(kernel, n_ranks=n_ranks, n_iterations=n_iterations,
+                         distances=distances)
+    base, disturbed = run_with_one_off_delay(spec, delay_rank=delay_rank,
+                                             delay_iteration=5, seed=seed)
+    trace_wave = measure_trace_wave(base, disturbed, delay_rank)
+    trace_desync = analyze_desync(disturbed,
+                                  socket_size=spec.machine.cores_per_socket)
+
+    panel = PanelResult(
+        name=name,
+        scalable=scalable,
+        distances=distances,
+        model_verdict=verdict,
+        model_wave=model_wave,
+        model_spread=verdict.final_spread,
+        model_spread_clean=verdict_clean.final_spread,
+        model_gap=verdict.mean_abs_gap,
+        trace_wave=trace_wave,
+        trace_desync=trace_desync,
+        sigma=sigma,
+    )
+
+    if out_dir is not None:
+        out = Path(out_dir)
+        # Model phase view (lagger-normalised) and circle state.
+        lag = traj.lagger_normalized()
+        step = max(1, lag.shape[0] // 400)
+        write_matrix(out / f"{name}_model_phases.csv", lag[::step],
+                     meta={"experiment": name.upper(), "view":
+                           "lagger-normalized phases (rows=time)"})
+        final = np.mod(traj.final_phases, 2.0 * np.pi)
+        write_csv(out / f"{name}_model_circle.csv",
+                  {"rank": np.arange(n_ranks), "angle": final,
+                   "x": np.cos(final), "y": np.sin(final)},
+                  meta={"experiment": name.upper(), "view": "circle"})
+        # Trace wait matrix (the ITAC-inset analogue).
+        write_matrix(out / f"{name}_trace_wait.csv", disturbed.wait_matrix(),
+                     meta={"experiment": name.upper(),
+                           "view": "wait seconds (rows=iterations)"})
+    return panel
+
+
+def run_fig2(
+    *,
+    n_ranks: int = 40,
+    n_iterations: int = 50,
+    sigma_b: float = 1.5,
+    sigma_d: float | None = None,
+    t_end: float | None = None,
+    seed: int = 0,
+    out_dir: str | Path | None = None,
+) -> Fig2Result:
+    """Run all four panels and compute the cross-panel ratios."""
+    if sigma_d is None:
+        sigma_d = sigma_b / 3.0
+
+    panels = {
+        "fig2a": run_panel("fig2a", scalable=True, distances=(1, -1),
+                           n_ranks=n_ranks, n_iterations=n_iterations,
+                           t_end=t_end, seed=seed, out_dir=out_dir),
+        "fig2b": run_panel("fig2b", scalable=False, distances=(1, -1),
+                           sigma=sigma_b, n_ranks=n_ranks,
+                           n_iterations=n_iterations, t_end=t_end, seed=seed,
+                           out_dir=out_dir),
+        "fig2c": run_panel("fig2c", scalable=True, distances=(1, -1, -2),
+                           n_ranks=n_ranks, n_iterations=n_iterations,
+                           t_end=t_end, seed=seed, out_dir=out_dir),
+        "fig2d": run_panel("fig2d", scalable=False, distances=(1, -1, -2),
+                           sigma=sigma_d, n_ranks=n_ranks,
+                           n_iterations=n_iterations, t_end=t_end, seed=seed,
+                           out_dir=out_dir),
+    }
+
+    b, d = panels["fig2b"], panels["fig2d"]
+    trace_ratio = (d.trace_wave.speed_ranks_per_iteration
+                   / b.trace_wave.speed_ranks_per_iteration)
+    model_ratio = d.model_wave.speed / b.model_wave.speed \
+        if (b.model_wave.speed and np.isfinite(b.model_wave.speed)) else float("nan")
+    spread_ratio = b.model_spread_clean / d.model_spread_clean \
+        if d.model_spread_clean > 0 else float("nan")
+
+    result = Fig2Result(
+        panels=panels,
+        trace_speed_ratio_d_over_b=float(trace_ratio),
+        model_speed_ratio_d_over_b=float(model_ratio),
+        model_spread_ratio_b_over_d=float(spread_ratio),
+    )
+
+    if out_dir is not None:
+        rows = []
+        for p in result.panels.values():
+            rows.append({
+                "panel": p.name,
+                "scalable": int(p.scalable),
+                "model_state": p.model_verdict.state.value,
+                "model_wave_speed": p.model_wave.speed,
+                "model_spread": p.model_spread,
+                "model_spread_clean": p.model_spread_clean,
+                "model_abs_gap": p.model_gap,
+                "trace_wave_ranks_per_iter": p.trace_wave.speed_ranks_per_iteration,
+                "trace_desync_index": p.trace_desync.desync_index,
+            })
+        write_csv(Path(out_dir) / "fig2_summary.csv",
+                  {k: [r[k] for r in rows] for k in rows[0]},
+                  meta={
+                      "experiment": "FIG2",
+                      "trace_speed_ratio_d_over_b": result.trace_speed_ratio_d_over_b,
+                      "model_speed_ratio_d_over_b": result.model_speed_ratio_d_over_b,
+                      "model_spread_ratio_b_over_d": result.model_spread_ratio_b_over_d,
+                  })
+    return result

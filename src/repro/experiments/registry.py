@@ -1,0 +1,98 @@
+"""Experiment registry: artefact id -> callable.
+
+The CLI and the benchmark harness resolve experiments through this
+table, so the per-experiment index in DESIGN.md has a single source of
+truth in code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .fig1a import run_fig1a
+from .supermuc import run_supermuc
+from .fig1b import run_fig1b
+from .fig2 import run_fig2
+from .sweeps import kuramoto_baseline, sweep_beta_kappa, sweep_sigma
+
+__all__ = ["Experiment", "REGISTRY", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable paper artefact.
+
+    Attributes
+    ----------
+    id:
+        Artefact id (matches DESIGN.md / EXPERIMENTS.md).
+    description:
+        One-line summary.
+    runner:
+        Callable accepting ``out_dir=`` and returning a result object.
+    """
+
+    id: str
+    description: str
+    runner: Callable
+
+
+REGISTRY: dict[str, Experiment] = {
+    "fig1a": Experiment(
+        id="FIG1A",
+        description="Fig. 1(a): scalable vs bottlenecked interaction "
+                    "potentials, first zero at 2*sigma/3",
+        runner=run_fig1a,
+    ),
+    "fig1b": Experiment(
+        id="FIG1B",
+        description="Fig. 1(b): socket bandwidth scaling of STREAM / "
+                    "slow Schönauer / PISOLVER on simulated Meggie",
+        runner=run_fig1b,
+    ),
+    "fig2": Experiment(
+        id="FIG2",
+        description="Fig. 2: four-panel MPI-trace vs oscillator-model "
+                    "analogy (idle waves, resync, wavefronts)",
+        runner=run_fig2,
+    ),
+    "beta-kappa": Experiment(
+        id="CLAIM-BK",
+        description="Sec. 5.1.1: idle-wave speed and stiffness vs "
+                    "beta*kappa",
+        runner=sweep_beta_kappa,
+    ),
+    "sigma": Experiment(
+        id="CLAIM-SIGMA",
+        description="Sec. 5.2.2: asymptotic gap = 2*sigma/3, spread and "
+                    "wave speed vs sigma",
+        runner=sweep_sigma,
+    ),
+    "kuramoto": Experiment(
+        id="CLAIM-KM",
+        description="Sec. 2.2.2: plain Kuramoto baseline is unsuitable "
+                    "(barrier-like sync, no desync, phase slips)",
+        runner=kuramoto_baseline,
+    ),
+    "supermuc": Experiment(
+        id="SUPERMUC",
+        description="Artifact appendix: the same phenomenology on the "
+                    "SuperMUC-NG machine spec (24-core Skylake sockets)",
+        runner=run_supermuc,
+    ),
+}
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up an experiment by CLI name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}")
+    return REGISTRY[key]
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(cli-name, description) pairs, sorted."""
+    return [(name, exp.description) for name, exp in sorted(REGISTRY.items())]

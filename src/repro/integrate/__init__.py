@@ -1,0 +1,35 @@
+"""From-scratch ODE/SDE/DDE integrators for the oscillator model.
+
+The paper's artifact solves Eq. (2) with MATLAB's ``ode45``
+(Dormand-Prince 5(4)).  This package provides:
+
+* :func:`solve_dopri45` — the same embedded RK pair with PI step-size
+  control and dense output,
+* :func:`solve_rk4` — classic fixed-step RK4,
+* :func:`solve_euler` / :func:`solve_euler_maruyama` — explicit Euler and
+  its stochastic variant for white-noise jitter,
+* :class:`HistoryBuffer` — Hermite-interpolated state history for the
+  delayed interaction term ``theta_j(t - tau_ij)``.
+
+All solvers return a :class:`Solution`.
+"""
+
+from .controller import StepController, error_norm, initial_step
+from .dopri import solve_dopri45
+from .euler import solve_euler, solve_euler_maruyama
+from .history import HistoryBuffer
+from .rk4 import solve_rk4
+from .solution import Solution, SolverStats
+
+__all__ = [
+    "StepController",
+    "error_norm",
+    "initial_step",
+    "solve_dopri45",
+    "solve_euler",
+    "solve_euler_maruyama",
+    "HistoryBuffer",
+    "solve_rk4",
+    "Solution",
+    "SolverStats",
+]

@@ -1,0 +1,118 @@
+"""Step-size control for adaptive Runge-Kutta methods.
+
+Implements the standard proportional-integral (PI) controller used by
+production ODE codes (Hairer/Nørsett/Wanner II.4): the next step size is
+
+    h_new = h * min(f_max, max(f_min, safety * err^(-kI) * err_prev^(-kP)))
+
+with the scaled error norm
+
+    err = sqrt( mean( (e_i / (atol + rtol*max(|y_i|, |y_new_i|)))^2 ) ).
+
+A pure "deadbeat" (I-only) controller is obtained with ``k_p = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["error_norm", "StepController"]
+
+
+def error_norm(err_vec: np.ndarray, y_old: np.ndarray, y_new: np.ndarray,
+               rtol: float, atol: float) -> float:
+    """Scaled RMS norm of the local error estimate.
+
+    A value <= 1 means the step satisfies the tolerances.
+    """
+    scale = atol + rtol * np.maximum(np.abs(y_old), np.abs(y_new))
+    ratio = err_vec / scale
+    return float(np.sqrt(np.mean(ratio * ratio)))
+
+
+@dataclass
+class StepController:
+    """PI step-size controller for an embedded RK pair of given order.
+
+    Parameters
+    ----------
+    order:
+        Order of the *lower*-order (error-estimating) method plus one,
+        i.e. the exponent base q = order used in ``err^(-1/q)``.  For
+        Dormand-Prince 5(4) use ``order=5``.
+    safety:
+        Multiplicative safety factor (< 1).
+    f_min, f_max:
+        Clamps on the step-size ratio per step.
+    beta:
+        PI stabilisation coefficient; 0 disables the integral part
+        (plain controller).  0.04 is the classic DOPRI choice.
+    """
+
+    order: int = 5
+    safety: float = 0.9
+    f_min: float = 0.2
+    f_max: float = 5.0
+    beta: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if not (0.0 < self.safety <= 1.0):
+            raise ValueError("safety must be in (0, 1]")
+        if self.f_min <= 0 or self.f_max <= self.f_min:
+            raise ValueError("need 0 < f_min < f_max")
+        self._err_prev = 1.0  # previous accepted error for the PI term
+
+    @property
+    def _k_i(self) -> float:
+        return 1.0 / self.order - 0.75 * self.beta
+
+    @property
+    def _k_p(self) -> float:
+        return self.beta
+
+    def propose(self, h: float, err: float, accepted: bool) -> float:
+        """Return the next step size given the error of the last attempt."""
+        if err <= 0.0:
+            # Perfect step (e.g. linear problem below round-off): grow max.
+            factor = self.f_max
+        else:
+            factor = self.safety * err ** (-self._k_i) * self._err_prev ** self._k_p
+            factor = min(self.f_max, max(self.f_min, factor))
+        if not accepted:
+            # Never grow the step after a rejection.
+            factor = min(1.0, factor)
+        if accepted:
+            self._err_prev = max(err, 1e-4)
+        return h * factor
+
+    def reset(self) -> None:
+        """Forget controller memory (e.g. after a discontinuity)."""
+        self._err_prev = 1.0
+
+
+def initial_step(f, t0: float, y0: np.ndarray, f0: np.ndarray, order: int,
+                 rtol: float, atol: float, direction: float = 1.0) -> float:
+    """Heuristic starting step (Hairer/Nørsett/Wanner, alg. II.4.14).
+
+    Estimates a step small enough that the first attempt is unlikely to
+    be rejected, from the magnitude of the solution and its first two
+    derivatives at ``t0``.
+    """
+    scale = atol + np.abs(y0) * rtol
+    d0 = float(np.sqrt(np.mean((y0 / scale) ** 2)))
+    d1 = float(np.sqrt(np.mean((f0 / scale) ** 2)))
+    h0 = 1e-6 if (d0 < 1e-5 or d1 < 1e-5) else 0.01 * d0 / d1
+
+    y1 = y0 + h0 * direction * f0
+    f1 = np.asarray(f(t0 + h0 * direction, y1), dtype=float)
+    d2 = float(np.sqrt(np.mean(((f1 - f0) / scale) ** 2))) / h0
+
+    if max(d1, d2) <= 1e-15:
+        h1 = max(1e-6, h0 * 1e-3)
+    else:
+        h1 = (0.01 / max(d1, d2)) ** (1.0 / order)
+    return min(100.0 * h0, h1)

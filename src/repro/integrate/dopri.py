@@ -1,0 +1,255 @@
+"""Dormand-Prince 5(4) adaptive Runge-Kutta solver with dense output.
+
+This is the same method family the paper's MATLAB artifact uses
+(``ode45`` is DOPRI 5(4)).  The implementation follows Hairer, Nørsett,
+Wanner, *Solving Ordinary Differential Equations I*, with:
+
+* the classic 7-stage FSAL Butcher tableau,
+* a PI step-size controller (:mod:`repro.integrate.controller`),
+* the 5th-order continuous extension (dense output) needed both for
+  event-free resampling and for the delay terms of the oscillator model.
+
+Only explicit, non-stiff problems are targeted; the oscillator ODEs of
+the paper are mildly stiff at worst (large beta*kappa), which DOPRI
+handles by step-size reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .controller import StepController, error_norm, initial_step
+from .solution import Solution, SolverStats
+
+__all__ = ["DOPRI_C", "DOPRI_A", "DOPRI_B5", "DOPRI_B4", "solve_dopri45"]
+
+# ----------------------------------------------------------------------
+# Butcher tableau (Dormand & Prince 1980)
+# ----------------------------------------------------------------------
+DOPRI_C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+
+DOPRI_A = np.array([
+    [0, 0, 0, 0, 0, 0, 0],
+    [1 / 5, 0, 0, 0, 0, 0, 0],
+    [3 / 40, 9 / 40, 0, 0, 0, 0, 0],
+    [44 / 45, -56 / 15, 32 / 9, 0, 0, 0, 0],
+    [19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729, 0, 0, 0],
+    [9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656, 0, 0],
+    [35 / 384, 0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0],
+])
+
+# 5th-order weights (the propagating solution; FSAL: equal to last A row).
+DOPRI_B5 = np.array([35 / 384, 0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0])
+
+# 4th-order embedded weights (error estimator).
+DOPRI_B4 = np.array([
+    5179 / 57600, 0, 7571 / 16695, 393 / 640, -92097 / 339200, 187 / 2100, 1 / 40,
+])
+
+# Dense-output coefficients: the standard order-4 interpolant of DOPRI5
+# expressed through an extra polynomial in sigma = (t - t_n)/h.
+_D = np.array([
+    -12715105075.0 / 11282082432.0,
+    0.0,
+    87487479700.0 / 32700410799.0,
+    -10690763975.0 / 1880347072.0,
+    701980252875.0 / 199316789632.0,
+    -1453857185.0 / 822651844.0,
+    69997945.0 / 29380423.0,
+])
+
+
+class _DenseOutput:
+    """Piecewise DOPRI interpolant (Hairer's CONTD5) over the mesh.
+
+    Each segment stores the five continuation vectors ``rcont1..rcont5``
+    and evaluates
+
+        y(sigma) = r1 + s*(r2 + (1-s)*(r3 + s*(r4 + (1-s)*r5)))
+
+    with ``s = (t - t_n)/h`` — the standard 5th-order-accurate
+    continuous extension of DOPRI5 (Hairer/Norsett/Wanner, dopri5.f).
+    """
+
+    def __init__(self, ts: np.ndarray, ys: np.ndarray, qs: list[np.ndarray]):
+        # qs[i] has shape (5, n_dim): rcont1..rcont5 for segment i.
+        self.ts = ts
+        self.ys = ys
+        self.qs = qs
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        t = np.atleast_1d(np.asarray(t, dtype=float))
+        out = np.empty((t.shape[0], self.ys.shape[1]), dtype=float)
+        # Segment index for each query point.
+        idx = np.searchsorted(self.ts, t, side="right") - 1
+        idx = np.clip(idx, 0, len(self.qs) - 1)
+        for seg in np.unique(idx):
+            mask = idx == seg
+            t0, t1 = self.ts[seg], self.ts[seg + 1]
+            h = t1 - t0
+            s = ((t[mask] - t0) / h)[:, None]
+            s1 = 1.0 - s
+            r1, r2, r3, r4, r5 = self.qs[seg]
+            out[mask] = r1 + s * (r2 + s1 * (r3 + s * (r4 + s1 * r5)))
+        return out
+
+
+def _dense_coefficients(h: float, y0: np.ndarray, y1: np.ndarray,
+                        k: np.ndarray) -> np.ndarray:
+    """Continuation vectors rcont1..rcont5 for one accepted step.
+
+    ``k`` has shape (7, n_dim); ``y0``/``y1`` are the step endpoints.
+    The construction is the literal dopri5.f CONTD5 setup: the _D row
+    holds Hairer's dense-output weights.
+    """
+    ydiff = y1 - y0
+    bspl = h * k[0] - ydiff
+    r1 = y0
+    r2 = ydiff
+    r3 = bspl
+    r4 = ydiff - h * k[6] - bspl
+    r5 = h * (_D @ k)
+    return np.stack([r1, r2, r3, r4, r5], axis=0)
+
+
+def solve_dopri45(
+    f: Callable[[float, np.ndarray], np.ndarray],
+    t_span: Sequence[float],
+    y0: Sequence[float] | np.ndarray,
+    *,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    max_step: float = np.inf,
+    first_step: float | None = None,
+    max_steps: int = 1_000_000,
+    dense_output: bool = True,
+    t_eval: Sequence[float] | np.ndarray | None = None,
+    step_callback: Callable[[float, np.ndarray], None] | None = None,
+) -> Solution:
+    """Integrate ``dy/dt = f(t, y)`` from ``t_span[0]`` to ``t_span[1]``.
+
+    Parameters mirror :func:`scipy.integrate.solve_ivp` where sensible.
+
+    Parameters
+    ----------
+    f:
+        Right-hand side ``f(t, y) -> dy/dt`` (vectorised over the state).
+    t_span:
+        ``(t0, t_end)`` with ``t_end > t0`` (forward integration only,
+        which is all the oscillator model needs).
+    y0:
+        Initial state.
+    rtol, atol:
+        Relative/absolute tolerances for the embedded error estimate.
+    max_step:
+        Upper bound on the step size (used to resolve noise processes
+        that are piecewise-constant in time).
+    first_step:
+        Optional initial step; auto-selected otherwise.
+    max_steps:
+        Hard cap on accepted steps; exceeding it marks failure.
+    dense_output:
+        Build the piecewise interpolant (needed for delay terms).
+    t_eval:
+        If given, the returned mesh is exactly these times (evaluated via
+        dense output); the natural mesh is discarded.
+    step_callback:
+        Called as ``cb(t, y)`` after each accepted step (used by the DDE
+        driver to append to the history buffer).
+
+    Returns
+    -------
+    Solution
+    """
+    t0, t_end = float(t_span[0]), float(t_span[1])
+    if not t_end > t0:
+        raise ValueError(f"need t_end > t0, got {t_span!r}")
+    y = np.asarray(y0, dtype=float).copy()
+    if y.ndim != 1:
+        raise ValueError("y0 must be one-dimensional")
+    n = y.shape[0]
+
+    stats = SolverStats()
+
+    def rhs(t: float, yy: np.ndarray) -> np.ndarray:
+        stats.n_rhs += 1
+        out = np.asarray(f(t, yy), dtype=float)
+        if out.shape != (n,):
+            raise ValueError(
+                f"RHS returned shape {out.shape}, expected {(n,)}"
+            )
+        return out
+
+    k = np.empty((7, n), dtype=float)
+    k[0] = rhs(t0, y)
+
+    if first_step is not None:
+        h = float(first_step)
+    else:
+        h = initial_step(rhs, t0, y, k[0], order=5, rtol=rtol, atol=atol)
+    h = min(h, max_step, t_end - t0)
+    if h <= 0:
+        raise ValueError("initial step size must be positive")
+
+    controller = StepController(order=5)
+
+    ts = [t0]
+    ys = [y.copy()]
+    qs: list[np.ndarray] = []
+
+    t = t0
+    min_step = 1e-14 * max(abs(t0), abs(t_end), 1.0)
+    success = True
+    message = "completed"
+
+    while t < t_end:
+        if stats.n_steps >= max_steps:
+            success = False
+            message = f"max_steps={max_steps} exceeded at t={t:.6g}"
+            break
+        h = min(h, t_end - t)
+        if h < min_step:
+            success = False
+            message = f"step size underflow at t={t:.6g}"
+            break
+
+        # --- one attempted step -------------------------------------
+        for i in range(1, 7):
+            yi = y + h * (DOPRI_A[i, :i] @ k[:i])
+            k[i] = rhs(t + DOPRI_C[i] * h, yi)
+        y_new = y + h * (DOPRI_B5 @ k)
+        err_vec = h * np.abs((DOPRI_B5 - DOPRI_B4) @ k)
+        err = error_norm(err_vec, y, y_new, rtol, atol)
+
+        if err <= 1.0:
+            # Accept.
+            if dense_output:
+                qs.append(_dense_coefficients(h, y, y_new, k))
+            t = t + h
+            stats.n_steps += 1
+            k[0] = k[6]  # FSAL
+            y = y_new
+            ts.append(t)
+            ys.append(y.copy())
+            if step_callback is not None:
+                step_callback(t, y)
+            h = min(controller.propose(h, err, accepted=True), max_step)
+        else:
+            stats.n_rejected += 1
+            h = controller.propose(h, err, accepted=False)
+
+    ts_arr = np.asarray(ts)
+    ys_arr = np.asarray(ys)
+    dense = _DenseOutput(ts_arr, ys_arr, qs) if (dense_output and qs) else None
+
+    if t_eval is not None:
+        t_eval = np.asarray(t_eval, dtype=float)
+        if dense is None:
+            raise ValueError("t_eval requires dense_output=True")
+        ys_arr = dense(t_eval)
+        ts_arr = t_eval
+
+    return Solution(ts=ts_arr, ys=ys_arr, stats=stats, dense=dense,
+                    success=success, message=message)

@@ -1,0 +1,120 @@
+"""Explicit Euler and Euler-Maruyama integrators.
+
+The Euler-Maruyama scheme treats the process-local noise ``zeta_i(t)`` of
+the physical oscillator model as a genuine stochastic (white-noise)
+forcing rather than a frozen piecewise-constant sample.  For an SDE
+
+    dy = f(t, y) dt + g(t, y) dW
+
+the scheme is ``y_{n+1} = y_n + f dt + g sqrt(dt) xi`` with
+``xi ~ N(0, I)``.  Strong order 1/2, weak order 1 — adequate for the
+qualitative noise studies of the paper (Sec. 6 lists the systematic
+study of noise as future work; we expose the machinery).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .solution import Solution, SolverStats
+
+__all__ = ["solve_euler", "solve_euler_maruyama"]
+
+
+def solve_euler(
+    f: Callable[[float, np.ndarray], np.ndarray],
+    t_span: Sequence[float],
+    y0: Sequence[float] | np.ndarray,
+    *,
+    dt: float,
+    step_callback: Callable[[float, np.ndarray], None] | None = None,
+) -> Solution:
+    """Integrate with the explicit (forward) Euler scheme, fixed step."""
+    t0, t_end = float(t_span[0]), float(t_span[1])
+    if not t_end > t0:
+        raise ValueError(f"need t_end > t0, got {t_span!r}")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+
+    y = np.asarray(y0, dtype=float).copy()
+    stats = SolverStats()
+    n_full = int(np.floor((t_end - t0) / dt + 1e-12))
+    remainder = (t_end - t0) - n_full * dt
+
+    ts = [t0]
+    ys = [y.copy()]
+    t = t0
+    for i in range(n_full + (1 if remainder > 1e-15 else 0)):
+        h = dt if i < n_full else remainder
+        y = y + h * np.asarray(f(t, y), dtype=float)
+        t = t + h
+        stats.n_rhs += 1
+        stats.n_steps += 1
+        ts.append(t)
+        ys.append(y.copy())
+        if step_callback is not None:
+            step_callback(t, y)
+
+    return Solution(ts=np.asarray(ts), ys=np.asarray(ys), stats=stats)
+
+
+def solve_euler_maruyama(
+    f: Callable[[float, np.ndarray], np.ndarray],
+    g: Callable[[float, np.ndarray], np.ndarray],
+    t_span: Sequence[float],
+    y0: Sequence[float] | np.ndarray,
+    *,
+    dt: float,
+    rng: np.random.Generator | None = None,
+    step_callback: Callable[[float, np.ndarray], None] | None = None,
+) -> Solution:
+    """Integrate the Itô SDE ``dy = f dt + g dW`` (diagonal noise).
+
+    Parameters
+    ----------
+    f:
+        Drift term ``f(t, y) -> (n,)``.
+    g:
+        Diffusion term ``g(t, y) -> (n,)`` — per-component noise
+        amplitude (diagonal diffusion; off-diagonal correlations are not
+        needed for the paper's process-local jitter).
+    dt:
+        Fixed time step.
+    rng:
+        NumPy generator; a fresh default generator is used if omitted
+        (pass one for reproducibility).
+    """
+    t0, t_end = float(t_span[0]), float(t_span[1])
+    if not t_end > t0:
+        raise ValueError(f"need t_end > t0, got {t_span!r}")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    y = np.asarray(y0, dtype=float).copy()
+    n = y.shape[0]
+    stats = SolverStats()
+    n_full = int(np.floor((t_end - t0) / dt + 1e-12))
+    remainder = (t_end - t0) - n_full * dt
+
+    ts = [t0]
+    ys = [y.copy()]
+    t = t0
+    for i in range(n_full + (1 if remainder > 1e-15 else 0)):
+        h = dt if i < n_full else remainder
+        drift = np.asarray(f(t, y), dtype=float)
+        diff = np.asarray(g(t, y), dtype=float)
+        dw = rng.standard_normal(n) * np.sqrt(h)
+        y = y + h * drift + diff * dw
+        t = t + h
+        stats.n_rhs += 1
+        stats.n_steps += 1
+        ts.append(t)
+        ys.append(y.copy())
+        if step_callback is not None:
+            step_callback(t, y)
+
+    return Solution(ts=np.asarray(ts), ys=np.asarray(ys), stats=stats)

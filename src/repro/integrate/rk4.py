@@ -1,0 +1,74 @@
+"""Classic fixed-step fourth-order Runge-Kutta integrator.
+
+Used for cheap, predictable-cost integration of the oscillator model when
+noise is injected as a piecewise-constant process (the mesh then aligns
+with the noise refresh interval) and as a reference method in the
+convergence tests of the adaptive solver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .solution import Solution, SolverStats
+
+__all__ = ["solve_rk4"]
+
+
+def solve_rk4(
+    f: Callable[[float, np.ndarray], np.ndarray],
+    t_span: Sequence[float],
+    y0: Sequence[float] | np.ndarray,
+    *,
+    dt: float,
+    step_callback: Callable[[float, np.ndarray], None] | None = None,
+) -> Solution:
+    """Integrate ``dy/dt = f(t, y)`` with the classic RK4 scheme.
+
+    Parameters
+    ----------
+    f:
+        Right-hand side.
+    t_span:
+        ``(t0, t_end)``, forward only.
+    y0:
+        Initial state.
+    dt:
+        Fixed step; the final step is shortened to land exactly on
+        ``t_end``.
+    step_callback:
+        Called after each step with ``(t, y)``.
+    """
+    t0, t_end = float(t_span[0]), float(t_span[1])
+    if not t_end > t0:
+        raise ValueError(f"need t_end > t0, got {t_span!r}")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+
+    y = np.asarray(y0, dtype=float).copy()
+    stats = SolverStats()
+
+    n_full = int(np.floor((t_end - t0) / dt + 1e-12))
+    remainder = (t_end - t0) - n_full * dt
+
+    ts = [t0]
+    ys = [y.copy()]
+    t = t0
+    for i in range(n_full + (1 if remainder > 1e-15 else 0)):
+        h = dt if i < n_full else remainder
+        k1 = np.asarray(f(t, y), dtype=float)
+        k2 = np.asarray(f(t + 0.5 * h, y + 0.5 * h * k1), dtype=float)
+        k3 = np.asarray(f(t + 0.5 * h, y + 0.5 * h * k2), dtype=float)
+        k4 = np.asarray(f(t + h, y + h * k3), dtype=float)
+        y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        t = t + h
+        stats.n_rhs += 4
+        stats.n_steps += 1
+        ts.append(t)
+        ys.append(y.copy())
+        if step_callback is not None:
+            step_callback(t, y)
+
+    return Solution(ts=np.asarray(ts), ys=np.asarray(ys), stats=stats)

@@ -1,0 +1,56 @@
+"""Observables for oscillator trajectories.
+
+* :mod:`order_parameter` — Kuramoto ``r(t)`` and circular means;
+* :mod:`phase` — spreads, adjacent gaps, co-moving/lagger views;
+* :mod:`sync` — sync/desync classification, settle times;
+* :mod:`wave` — idle-wave arrival, speed and decay fits.
+"""
+
+from .energy import (
+    energy_series,
+    pair_energy_curve,
+    sync_energy,
+    system_energy,
+    wavefront_energy,
+)
+from .order_parameter import (
+    mean_phase,
+    order_parameter,
+    order_parameter_series,
+    splay_order_parameter,
+)
+from .phase import (
+    adjacent_gaps,
+    comoving,
+    gap_statistics,
+    lagger_baseline,
+    phase_spread,
+    phase_spread_series,
+)
+from .sync import (
+    SyncState,
+    SyncVerdict,
+    classify,
+    fixed_point_residual,
+    settle_time,
+)
+from .wave import (
+    WaveFit,
+    arrival_times,
+    measure_wave_speed,
+    paired_wave_decay,
+    wave_decay,
+)
+
+__all__ = [
+    "energy_series", "pair_energy_curve", "sync_energy", "system_energy",
+    "wavefront_energy",
+    "mean_phase", "order_parameter", "order_parameter_series",
+    "splay_order_parameter",
+    "adjacent_gaps", "comoving", "gap_statistics", "lagger_baseline",
+    "phase_spread", "phase_spread_series",
+    "SyncState", "SyncVerdict", "classify", "fixed_point_residual",
+    "settle_time",
+    "WaveFit", "arrival_times", "measure_wave_speed", "paired_wave_decay",
+    "wave_decay",
+]

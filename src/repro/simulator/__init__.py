@@ -1,0 +1,63 @@
+"""Discrete-event MPI cluster simulator (the validation substrate).
+
+The paper validates the oscillator model against traces of MPI
+microbenchmarks on the Meggie cluster; this package replaces the
+hardware with a faithful-by-construction simulation:
+
+* :class:`EventEngine` — deterministic event calendar;
+* :class:`MachineSpec` — node/socket/core layout, per-socket memory
+  bandwidth ceiling, network parameters (:meth:`MachineSpec.meggie`);
+* kernels — :func:`PiSolverKernel` (compute-bound),
+  :func:`StreamTriadKernel`, :func:`SchoenauerTriadKernel`
+  (bandwidth-saturating);
+* :class:`MemoryArbiter` — per-socket fair-share bandwidth (the
+  bottleneck mechanism);
+* :class:`ClusterSimulator` + :class:`ProgramSpec` — the
+  Irecv/Send/Waitall bulk-synchronous rank state machine;
+* :class:`Trace` — ITAC-like per-rank interval records;
+* helpers — :func:`run_program`, :func:`run_with_one_off_delay`,
+  :func:`bandwidth_scaling`, :func:`paper_program`.
+"""
+
+from .engine import EventEngine, EventHandle
+from .kernels import (
+    Kernel,
+    PiSolverKernel,
+    SchoenauerTriadKernel,
+    StreamTriadKernel,
+    kernel_from_name,
+)
+from .machine import MachineSpec, Placement
+from .memory import MemoryArbiter, SocketStats
+from .mpi import ClusterSimulator, ProgramSpec
+from .network import NetworkModel
+from .noise_injection import (
+    ComputeNoise,
+    ExponentialComputeNoise,
+    GaussianComputeNoise,
+    Injection,
+    NoComputeNoise,
+    injection_matrix,
+)
+from .program import (
+    bandwidth_scaling,
+    paper_program,
+    run_program,
+    run_with_one_off_delay,
+)
+from .trace import Activity, Interval, RankTimeline, Trace
+
+__all__ = [
+    "EventEngine", "EventHandle",
+    "Kernel", "PiSolverKernel", "SchoenauerTriadKernel", "StreamTriadKernel",
+    "kernel_from_name",
+    "MachineSpec", "Placement",
+    "MemoryArbiter", "SocketStats",
+    "ClusterSimulator", "ProgramSpec",
+    "NetworkModel",
+    "ComputeNoise", "ExponentialComputeNoise", "GaussianComputeNoise",
+    "Injection", "NoComputeNoise", "injection_matrix",
+    "bandwidth_scaling", "paper_program", "run_program",
+    "run_with_one_off_delay",
+    "Activity", "Interval", "RankTimeline", "Trace",
+]

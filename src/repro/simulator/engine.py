@@ -1,0 +1,131 @@
+"""Discrete-event simulation core.
+
+A tiny but strict event engine: a binary-heap calendar of
+``(time, sequence, callback)`` entries with
+
+* deterministic FIFO tie-breaking for simultaneous events (the sequence
+  number), so DES runs are bit-reproducible,
+* O(log n) cancellation via invalidation tokens (needed by the memory
+  arbiter, which reschedules completion events whenever the concurrency
+  level on a socket changes),
+* a monotonicity guard — scheduling into the past is a bug, not a
+  rounding issue, and raises immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["EventHandle", "EventEngine"]
+
+
+class EventHandle:
+    """Token returned by :meth:`EventEngine.schedule`; supports cancel."""
+
+    __slots__ = ("time", "active")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.active = True
+
+    def cancel(self) -> None:
+        """Invalidate the event; it will be skipped when popped."""
+        self.active = False
+
+
+class EventEngine:
+    """Minimal deterministic event calendar.
+
+    Usage::
+
+        eng = EventEngine()
+        eng.schedule(1.5, lambda: ...)
+        eng.run()          # or eng.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._n_dispatched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def n_dispatched(self) -> int:
+        """Number of events executed so far (engine throughput metric)."""
+        return self._n_dispatched
+
+    @property
+    def n_pending(self) -> int:
+        """Events still in the calendar (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Add an event at absolute simulation time ``time``."""
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        handle = EventHandle(max(time, self._now))
+        heapq.heappush(self._heap, (handle.time, next(self._seq), handle, callback))
+        return handle
+
+    def schedule_after(self, delay: float,
+                       callback: Callable[[], None]) -> EventHandle:
+        """Add an event ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Dispatch the earliest active event.  False when calendar empty."""
+        while self._heap:
+            time, _seq, handle, callback = heapq.heappop(self._heap)
+            if not handle.active:
+                continue
+            self._now = time
+            self._n_dispatched += 1
+            callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Dispatch events until the calendar drains (or limits hit).
+
+        Parameters
+        ----------
+        until:
+            Stop *before* dispatching any event later than this time
+            (the clock is left at the last dispatched event).
+        max_events:
+            Safety cap on dispatched events; exceeding it raises —
+            an unbounded DES almost always indicates a livelock bug.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        count = 0
+        while self._heap:
+            if until is not None:
+                # Peek at the earliest active event.
+                self._drop_cancelled()
+                if not self._heap or self._heap[0][0] > until:
+                    return
+            if count >= budget:
+                raise RuntimeError(
+                    f"event budget exceeded ({max_events} events) at t={self._now}"
+                )
+            if not self.step():
+                return
+            count += 1
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and not self._heap[0][2].active:
+            heapq.heappop(self._heap)

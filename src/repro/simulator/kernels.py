@@ -1,0 +1,189 @@
+"""Execution-time models for the paper's microbenchmark kernels (Sec. 4).
+
+Each kernel splits one iteration (one "sweep") into
+
+* an **in-core part** ``core_time`` — instruction throughput-limited
+  work that uses no memory bandwidth, and
+* a **memory part** ``traffic_bytes`` — data that must stream from/to
+  main memory, progressing at whatever bandwidth share the socket
+  arbiter grants.
+
+This sequential two-part model is a simplified ECM picture; it
+reproduces exactly the property the paper needs: kernels whose runtime
+is dominated by traffic saturate the socket (STREAM at ~5 Broadwell
+cores), kernels with heavy in-core work saturate later (the "slow"
+Schönauer triad — low-throughput cosine and FP division shift the
+saturation point up, Fig. 1(b)), and pure-compute kernels never contend
+(PISOLVER).
+
+The paper's kernels:
+
+* ``PISOLVER`` — midpoint-rule quadrature of 4/(1+x^2), 500M steps
+  spread over the ranks; purely compute bound.
+* ``STREAM triad`` — ``A(:) = B(:) + s*C(:)``: 3 doubles streamed per
+  element (+ write-allocate on A makes 4 with typical NT-store-free
+  code), negligible in-core work.
+* ``Slow Schönauer triad`` — ``A(:) = B(:) + cos(C(:)/D(:))``: 4 streams
+  plus an expensive cosine+division per element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import MachineSpec
+
+__all__ = [
+    "Kernel",
+    "PiSolverKernel",
+    "StreamTriadKernel",
+    "SchoenauerTriadKernel",
+    "kernel_from_name",
+]
+
+_DOUBLE = 8  # bytes
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A per-iteration workload model.
+
+    Attributes
+    ----------
+    name:
+        Identifier for traces and reports.
+    core_time:
+        In-core (non-memory) seconds per iteration per rank.
+    traffic_bytes:
+        Main-memory traffic per iteration per rank (bytes).
+    """
+
+    name: str
+    core_time: float
+    traffic_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.core_time < 0 or self.traffic_bytes < 0:
+            raise ValueError("kernel parameters must be non-negative")
+        if self.core_time == 0 and self.traffic_bytes == 0:
+            raise ValueError("kernel must do some work")
+
+    # ------------------------------------------------------------------
+    def single_core_time(self, machine: MachineSpec) -> float:
+        """Iteration time running alone on a socket (no contention)."""
+        return self.core_time + self.traffic_bytes / machine.core_bandwidth
+
+    def contended_time(self, machine: MachineSpec, n_active: int) -> float:
+        """Iteration time when ``n_active`` ranks stream concurrently.
+
+        The socket grants each streaming rank
+        ``min(core_bandwidth, socket_bandwidth / n_active)``.
+        """
+        if n_active < 1:
+            raise ValueError("n_active must be >= 1")
+        rate = min(machine.core_bandwidth,
+                   machine.socket_bandwidth / n_active)
+        return self.core_time + self.traffic_bytes / rate
+
+    def demanded_bandwidth(self, machine: MachineSpec) -> float:
+        """Bandwidth one uncontended rank asks for (bytes/s)."""
+        t = self.single_core_time(machine)
+        return self.traffic_bytes / t if t > 0 else 0.0
+
+    def saturation_cores(self, machine: MachineSpec) -> float:
+        """Cores at which the aggregate demand hits the socket ceiling.
+
+        Fractional value; ``inf`` for kernels with no traffic.  The
+        paper's Fig. 1(b) shows STREAM saturating around 5 Broadwell
+        cores and the slow Schönauer triad near the full socket.
+        """
+        demand = self.demanded_bandwidth(machine)
+        if demand <= 0:
+            return float("inf")
+        return machine.socket_bandwidth / demand
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Heuristic: does traffic dominate the single-core runtime?
+
+        (Relative to a generic 14 GB/s core: used only for reporting —
+        the DES derives contention from traffic_bytes directly.)
+        """
+        if self.traffic_bytes == 0:
+            return False
+        mem_time = self.traffic_bytes / 14.0e9
+        return mem_time > self.core_time
+
+    def describe(self) -> dict:
+        """Metadata dictionary used by exporters."""
+        return {
+            "name": self.name,
+            "core_time_s": self.core_time,
+            "traffic_MB": self.traffic_bytes / 1e6,
+            "memory_bound": self.is_memory_bound,
+        }
+
+
+# ----------------------------------------------------------------------
+# The paper's kernels
+# ----------------------------------------------------------------------
+def PiSolverKernel(steps_per_rank: float = 12.5e6,
+                   flops_per_step: float = 6.0,
+                   machine: MachineSpec | None = None) -> Kernel:
+    """PISOLVER: midpoint-rule integration of 4/(1+x^2) (paper Sec. 4).
+
+    500 M total steps over 40 ranks = 12.5 M steps/rank/iteration by
+    default.  Each step is an FMA-bound kernel (add, multiply, divide);
+    ``flops_per_step=6`` with the machine's scalar throughput gives a
+    per-sweep time of a few milliseconds — resource-scalable: zero
+    memory traffic, no contention, linear scaling.
+    """
+    m = machine or MachineSpec.meggie()
+    # The division dominates; assume ~1/4 of peak scalar FMA throughput.
+    effective_flops = m.core_flops / 8.0
+    core_time = steps_per_rank * flops_per_step / effective_flops
+    return Kernel(name="pisolver", core_time=core_time, traffic_bytes=0.0)
+
+
+def StreamTriadKernel(array_elements: float = 20e6) -> Kernel:
+    """STREAM triad ``A = B + s*C`` (McCalpin; paper Sec. 4).
+
+    Three explicit streams plus the write-allocate transfer on A gives
+    4 doubles = 32 bytes of traffic per element.  Working sets are
+    chosen >= 10x LLC (paper Sec. 4): the default 20 M elements x 3
+    arrays = 480 MB >> 25 MB LLC, so caches are irrelevant.  In-core
+    work (one FMA per element) is negligible against the streams; a
+    small per-element core time models loop overhead.
+    """
+    traffic = array_elements * 4 * _DOUBLE
+    core_time = array_elements * 0.05e-9  # ~0.05 ns/element loop overhead
+    return Kernel(name="stream_triad", core_time=core_time,
+                  traffic_bytes=traffic)
+
+
+def SchoenauerTriadKernel(array_elements: float = 20e6,
+                          cosine_ns: float = 1.4) -> Kernel:
+    """"Slow" Schönauer triad ``A = B + cos(C/D)`` (paper Sec. 4).
+
+    Four streams plus write-allocate = 5 doubles = 40 bytes per element,
+    and an expensive cosine + FP division per element (``cosine_ns``
+    nanoseconds of in-core work).  The heavy in-core part lowers the
+    per-core bandwidth demand, moving bandwidth saturation to a higher
+    core count — the paper's reason for using it (Fig. 1(b)).
+    """
+    traffic = array_elements * 5 * _DOUBLE
+    core_time = array_elements * cosine_ns * 1e-9
+    return Kernel(name="schoenauer_triad", core_time=core_time,
+                  traffic_bytes=traffic)
+
+
+def kernel_from_name(name: str, **kwargs) -> Kernel:
+    """Factory used by the CLI."""
+    key = name.strip().lower()
+    if key in ("pisolver", "pi", "scalable"):
+        return PiSolverKernel(**kwargs)
+    if key in ("stream", "stream_triad", "triad"):
+        return StreamTriadKernel(**kwargs)
+    if key in ("schoenauer", "schoenauer_triad", "slow_triad", "slow"):
+        return SchoenauerTriadKernel(**kwargs)
+    raise ValueError(f"unknown kernel {name!r}")

@@ -1,0 +1,180 @@
+"""Cluster hardware description.
+
+A :class:`MachineSpec` captures the handful of hardware parameters the
+paper's phenomenology depends on: the socket core count, the per-socket
+saturated memory bandwidth, the single-core achievable bandwidth, and
+network latency/bandwidth.  :meth:`MachineSpec.meggie` reproduces the
+paper's primary testbed (Sec. 4):
+
+    "Meggie" — dual-socket nodes with ten-core Intel Xeon Broadwell
+    E5-2630v4 (2.2 GHz), 68 GB/s per-socket memory bandwidth, 100 Gbit/s
+    Omni-Path fat-tree interconnect.
+
+Rank placement is block ("compact") by default — ranks fill socket 0's
+cores, then socket 1, etc. — matching how the paper pins 40 ranks onto
+4 sockets (10 per socket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one rank lives."""
+
+    rank: int
+    node: int
+    socket: int       # global socket index (node * sockets_per_node + local)
+    core: int         # core index within the socket
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware parameters of the simulated cluster.
+
+    Attributes
+    ----------
+    nodes:
+        Number of nodes.
+    sockets_per_node:
+        CPU sockets per node.
+    cores_per_socket:
+        Physical cores per socket (SMT is ignored; the paper does not
+        use it).
+    socket_bandwidth:
+        Saturated per-socket memory bandwidth in bytes/s.
+    core_bandwidth:
+        Single-core achievable memory bandwidth in bytes/s (one core
+        cannot saturate the socket on modern server CPUs — this is why
+        STREAM scales up to a few cores before the socket ceiling bites).
+    core_flops:
+        Per-core peak double-precision flops/s (used by compute-bound
+        kernel time models).
+    network_latency:
+        Point-to-point message latency in seconds.
+    network_bandwidth:
+        Point-to-point bandwidth in bytes/s.
+    """
+
+    nodes: int = 1
+    sockets_per_node: int = 2
+    cores_per_socket: int = 10
+    socket_bandwidth: float = 68.0e9
+    core_bandwidth: float = 14.0e9
+    core_flops: float = 35.2e9
+    network_latency: float = 1.5e-6
+    network_bandwidth: float = 12.5e9   # 100 Gbit/s
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.sockets_per_node < 1 or self.cores_per_socket < 1:
+            raise ValueError("machine must have at least one node/socket/core")
+        if self.socket_bandwidth <= 0 or self.core_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.core_bandwidth > self.socket_bandwidth:
+            raise ValueError("core bandwidth cannot exceed socket bandwidth")
+        if self.core_flops <= 0:
+            raise ValueError("core_flops must be positive")
+        if self.network_latency < 0 or self.network_bandwidth <= 0:
+            raise ValueError("invalid network parameters")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def meggie(cls) -> "MachineSpec":
+        """The paper's Meggie cluster (Sec. 4).
+
+        Ten-core Broadwell E5-2630v4 @ 2.2 GHz, 68 GB/s per socket,
+        100 Gbit/s Omni-Path.  Single-core STREAM bandwidth on this CPU
+        is ~14 GB/s, so a socket saturates at ~5 cores — consistent with
+        the paper's Fig. 1(b).
+        """
+        return cls()
+
+    @classmethod
+    def supermuc_ng(cls) -> "MachineSpec":
+        """SuperMUC-NG node (the paper's second system, artifact appendix):
+        dual 24-core Skylake Platinum 8174, ~105 GB/s per socket,
+        OmniPath 100 Gbit/s."""
+        return cls(
+            nodes=1,
+            sockets_per_node=2,
+            cores_per_socket=24,
+            socket_bandwidth=105.0e9,
+            core_bandwidth=13.0e9,
+            core_flops=70.4e9,  # AVX-512
+            network_latency=1.5e-6,
+            network_bandwidth=12.5e9,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_sockets(self) -> int:
+        """All sockets in the machine."""
+        return self.nodes * self.sockets_per_node
+
+    @property
+    def total_cores(self) -> int:
+        """All cores in the machine."""
+        return self.total_sockets * self.cores_per_socket
+
+    def place_ranks(self, n_ranks: int, *, strategy: str = "block",
+                    ranks_per_socket: int | None = None) -> list[Placement]:
+        """Map ranks onto cores.
+
+        ``strategy="block"`` (default): fill each socket before moving to
+        the next — the paper's pinning.  ``strategy="round_robin"``:
+        scatter ranks across sockets.  ``ranks_per_socket`` restricts
+        occupancy (e.g. 9 ranks on a 10-core socket for the Fig. 1(b)
+        sweep).
+        """
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        per_socket = ranks_per_socket or self.cores_per_socket
+        if per_socket > self.cores_per_socket:
+            raise ValueError(
+                f"ranks_per_socket={per_socket} exceeds cores_per_socket="
+                f"{self.cores_per_socket}"
+            )
+        capacity = self.total_sockets * per_socket
+        if n_ranks > capacity:
+            raise ValueError(
+                f"{n_ranks} ranks exceed capacity {capacity} "
+                f"({self.total_sockets} sockets x {per_socket})"
+            )
+
+        placements: list[Placement] = []
+        if strategy == "block":
+            for r in range(n_ranks):
+                sock = r // per_socket
+                core = r % per_socket
+                node = sock // self.sockets_per_node
+                placements.append(Placement(rank=r, node=node, socket=sock,
+                                            core=core))
+        elif strategy == "round_robin":
+            counts = [0] * self.total_sockets
+            for r in range(n_ranks):
+                sock = r % self.total_sockets
+                core = counts[sock]
+                counts[sock] += 1
+                node = sock // self.sockets_per_node
+                placements.append(Placement(rank=r, node=node, socket=sock,
+                                            core=core))
+        else:
+            raise ValueError(f"unknown placement strategy {strategy!r}")
+        return placements
+
+    def describe(self) -> dict:
+        """Metadata dictionary used by exporters."""
+        return {
+            "nodes": self.nodes,
+            "sockets_per_node": self.sockets_per_node,
+            "cores_per_socket": self.cores_per_socket,
+            "socket_bandwidth_GBs": self.socket_bandwidth / 1e9,
+            "core_bandwidth_GBs": self.core_bandwidth / 1e9,
+            "core_flops_G": self.core_flops / 1e9,
+            "network_latency_us": self.network_latency * 1e6,
+            "network_bandwidth_GBs": self.network_bandwidth / 1e9,
+        }

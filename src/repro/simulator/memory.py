@@ -1,0 +1,175 @@
+"""Per-socket memory-bandwidth arbitration (processor sharing).
+
+The mechanism behind every bottleneck effect in the paper: ranks on one
+socket share the saturated socket bandwidth.  While ``k`` ranks stream
+concurrently, each progresses at
+
+    rate(k) = min(core_bandwidth, socket_bandwidth / k)
+
+so a single rank cannot exceed its core's achievable bandwidth, and a
+full socket divides the ceiling fairly.  The arbiter is event-driven:
+whenever a stream starts or finishes, the progress of every active
+stream is advanced at the old rate and the next completion event is
+rescheduled at the new rate.
+
+This fair-share model is what makes *desynchronisation pay off* for
+memory-bound programs: interleaved compute phases see fewer concurrent
+streamers, hence more bandwidth each — the DES analogue of the
+bottleneck-evasion feedback described in the paper (Sec. 1.2, refs
+[3, 6]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .engine import EventEngine, EventHandle
+
+__all__ = ["MemoryArbiter", "SocketStats"]
+
+# One byte of slack absorbs float rounding on multi-hundred-MB streams.
+_COMPLETION_SLACK_BYTES = 1.0
+
+
+@dataclass
+class SocketStats:
+    """Aggregate accounting for one socket's memory traffic.
+
+    Attributes
+    ----------
+    bytes_transferred:
+        Total traffic served (bytes).
+    busy_time:
+        Wall time with at least one active stream (seconds).
+    weighted_occupancy:
+        Time-integral of the number of active streams; divided by
+        ``busy_time`` it gives the mean concurrency.
+    """
+
+    bytes_transferred: float = 0.0
+    busy_time: float = 0.0
+    weighted_occupancy: float = 0.0
+
+    def mean_concurrency(self) -> float:
+        """Average number of concurrent streamers while busy."""
+        return self.weighted_occupancy / self.busy_time if self.busy_time > 0 else 0.0
+
+    def average_bandwidth(self, elapsed: float) -> float:
+        """Mean achieved socket bandwidth over ``elapsed`` seconds."""
+        return self.bytes_transferred / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass
+class _Stream:
+    rank: int
+    remaining: float
+    callback: Callable[[], None]
+
+
+class MemoryArbiter:
+    """Fair-share bandwidth scheduler for one socket.
+
+    Parameters
+    ----------
+    engine:
+        The event engine (provides the clock and calendar).
+    socket_bandwidth:
+        Saturated socket bandwidth, bytes/s.
+    core_bandwidth:
+        Per-stream ceiling, bytes/s.
+    """
+
+    def __init__(self, engine: EventEngine, socket_bandwidth: float,
+                 core_bandwidth: float) -> None:
+        if socket_bandwidth <= 0 or core_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        self._engine = engine
+        self._socket_bw = socket_bandwidth
+        self._core_bw = core_bandwidth
+        self._streams: dict[int, _Stream] = {}
+        self._last_sync = engine.now
+        self._event: EventHandle | None = None
+        self.stats = SocketStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        """Streams currently in flight."""
+        return len(self._streams)
+
+    def current_rate(self) -> float:
+        """Per-stream bandwidth right now (0 when idle)."""
+        k = len(self._streams)
+        if k == 0:
+            return 0.0
+        return min(self._core_bw, self._socket_bw / k)
+
+    # ------------------------------------------------------------------
+    def start_stream(self, rank: int, nbytes: float,
+                     callback: Callable[[], None]) -> None:
+        """Begin streaming ``nbytes`` for ``rank``; ``callback`` fires on
+        completion.  A rank may have only one stream at a time."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if rank in self._streams:
+            raise RuntimeError(f"rank {rank} already has an active stream")
+        self._sync()
+        if nbytes <= _COMPLETION_SLACK_BYTES:
+            # Degenerate stream: complete immediately (still via the
+            # calendar to preserve event ordering).
+            self._engine.schedule_after(0.0, callback)
+            return
+        self._streams[rank] = _Stream(rank=rank, remaining=float(nbytes),
+                                      callback=callback)
+        self._reschedule()
+
+    def cancel_stream(self, rank: int) -> float:
+        """Abort a stream; returns the unserved bytes (for fault tests)."""
+        self._sync()
+        stream = self._streams.pop(rank, None)
+        self._reschedule()
+        return stream.remaining if stream is not None else 0.0
+
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Advance all stream progress to the current time."""
+        now = self._engine.now
+        elapsed = now - self._last_sync
+        if elapsed < 0:
+            raise RuntimeError("engine clock moved backwards")
+        if elapsed > 0 and self._streams:
+            rate = self.current_rate()
+            k = len(self._streams)
+            served = rate * elapsed
+            for s in self._streams.values():
+                s.remaining -= served
+            self.stats.bytes_transferred += served * k
+            self.stats.busy_time += elapsed
+            self.stats.weighted_occupancy += elapsed * k
+        self._last_sync = now
+
+    def _reschedule(self) -> None:
+        """Re-arm the next completion event after any membership change."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if not self._streams:
+            return
+        rate = self.current_rate()
+        min_remaining = min(s.remaining for s in self._streams.values())
+        dt = max(min_remaining, 0.0) / rate
+        self._event = self._engine.schedule_after(dt, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._event = None
+        self._sync()
+        done = [s for s in self._streams.values()
+                if s.remaining <= _COMPLETION_SLACK_BYTES]
+        for s in done:
+            del self._streams[s.rank]
+        # Callbacks may start new streams (which re-syncs/reschedules);
+        # run them after the membership change is fully applied.
+        for s in done:
+            s.callback()
+        self._reschedule()

@@ -1,0 +1,442 @@
+"""MPI rank state machine and the cluster simulator.
+
+Each rank executes the paper's bulk-synchronous toy-code structure
+(Sec. 4): per iteration,
+
+1. post ``MPI_Irecv`` for every inbound partner (non-blocking, free),
+2. compute one sweep (in-core part + memory part through the socket's
+   bandwidth arbiter, plus any injected one-off workload or noise),
+3. ``MPI_Send`` to every outbound partner — eager sends cost only the
+   issue overhead; rendezvous sends block until the receiver has posted
+   the matching receive (i.e. reached the same iteration), then occupy
+   the sender for the wire time,
+4. ``MPI_Waitall`` — block until every inbound message of this
+   iteration has arrived.
+
+Messages are matched by ``(source, destination, iteration)``.  The
+communication distance set ``d`` works exactly as in the paper: rank
+``i`` sends to ``i + d`` for every ``d`` in the set (modulo N on a
+ring), and therefore receives from ``i - d``.
+
+The simulator is deterministic for a fixed seed: noise matrices are
+realised up front, and the event engine breaks ties FIFO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.coupling import Protocol
+from .engine import EventEngine
+from .kernels import Kernel
+from .machine import MachineSpec, Placement
+from .memory import MemoryArbiter
+from .network import NetworkModel
+from .noise_injection import (
+    ComputeNoise,
+    Injection,
+    NoComputeNoise,
+    injection_matrix,
+)
+from .trace import Activity, RankTimeline, Trace
+
+__all__ = ["ProgramSpec", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Everything that defines one simulated program run.
+
+    Attributes
+    ----------
+    n_ranks:
+        Number of MPI processes.
+    n_iterations:
+        Bulk-synchronous sweeps to execute.
+    kernel:
+        Per-iteration workload model.
+    machine:
+        Hardware description.
+    distances:
+        Send-offset set ``d`` (e.g. ``(1, -1)`` for the paper's
+        ``d = ±1``; ``(1, -1, -2)`` for ``d = ±1, -2``).
+    periodic:
+        Ring (True) vs. open chain (False).
+    message_bytes:
+        Payload per point-to-point message ("short messages" in the
+        paper: default 1 KiB, comfortably eager).
+    network:
+        Latency/bandwidth/protocol model.
+    placement:
+        ``"block"`` or ``"round_robin"`` rank-to-core mapping.
+    ranks_per_socket:
+        Occupancy restriction (None = fill sockets).
+    barrier_interval:
+        If set, a global barrier every this many iterations (an
+        extension: the paper's codes are barrier-free).
+    """
+
+    n_ranks: int
+    n_iterations: int
+    kernel: Kernel
+    machine: MachineSpec = field(default_factory=MachineSpec.meggie)
+    distances: tuple[int, ...] = (1, -1)
+    periodic: bool = True
+    message_bytes: float = 1024.0
+    network: NetworkModel = field(default_factory=NetworkModel)
+    placement: str = "block"
+    ranks_per_socket: int | None = None
+    barrier_interval: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 2:
+            raise ValueError("need at least two ranks")
+        if self.n_iterations < 1:
+            raise ValueError("need at least one iteration")
+        if not self.distances:
+            raise ValueError("distance set must not be empty")
+        if any(d == 0 for d in self.distances):
+            raise ValueError("distance 0 is not allowed")
+        if any(abs(d) >= self.n_ranks for d in self.distances):
+            raise ValueError("distances must be smaller than the rank count")
+        if self.message_bytes < 0:
+            raise ValueError("message_bytes must be non-negative")
+        if self.barrier_interval is not None and self.barrier_interval < 1:
+            raise ValueError("barrier_interval must be positive")
+
+    # ------------------------------------------------------------------
+    def send_partners(self, rank: int) -> list[tuple[int, int]]:
+        """Outbound ``(partner, distance)`` pairs, ordered as the distance
+        set.  The distance doubles as the MPI tag: it disambiguates
+        multiple messages between the same pair of ranks (e.g. ``d = ±1``
+        on a two-rank ring)."""
+        out = []
+        for d in self.distances:
+            j = rank + d
+            if self.periodic:
+                out.append((j % self.n_ranks, d))
+            elif 0 <= j < self.n_ranks:
+                out.append((j, d))
+        return out
+
+    def recv_partners(self, rank: int) -> list[tuple[int, int]]:
+        """Inbound ``(partner, distance)`` pairs (those whose send set
+        contains ``rank``): the message sent with distance ``d`` arrives
+        from rank ``rank - d``."""
+        out = []
+        for d in self.distances:
+            j = rank - d
+            if self.periodic:
+                out.append((j % self.n_ranks, d))
+            elif 0 <= j < self.n_ranks:
+                out.append((j, d))
+        return out
+
+    def describe(self) -> dict:
+        """Metadata dictionary stored in the trace."""
+        return {
+            "n_ranks": self.n_ranks,
+            "n_iterations": self.n_iterations,
+            "kernel": self.kernel.describe(),
+            "machine": self.machine.describe(),
+            "distances": list(self.distances),
+            "periodic": self.periodic,
+            "message_bytes": self.message_bytes,
+            "network": self.network.describe(),
+            "placement": self.placement,
+            "ranks_per_socket": self.ranks_per_socket,
+            "barrier_interval": self.barrier_interval,
+        }
+
+
+# Internal per-rank execution state.
+@dataclass
+class _RankState:
+    rank: int
+    placement: Placement
+    send_partners: list[tuple[int, int]]
+    recv_partners: list[tuple[int, int]]
+    iteration: int = -1
+    compute_start: float = 0.0
+    send_start: float = 0.0
+    wait_start: float = 0.0
+    arrived: int = 0            # inbound messages arrived for current iteration
+    waiting: bool = False       # blocked in Waitall
+    pending_send_idx: int = 0   # next outbound partner (rendezvous sequencing)
+    done: bool = False
+
+
+class ClusterSimulator:
+    """Discrete-event simulation of one :class:`ProgramSpec` run.
+
+    Parameters
+    ----------
+    spec:
+        The program/machine description.
+    injections:
+        One-off extra workloads (idle-wave triggers).
+    compute_noise:
+        Random per-iteration compute perturbation.
+    seed:
+        Seed for the noise realisation.
+    """
+
+    def __init__(
+        self,
+        spec: ProgramSpec,
+        injections: Sequence[Injection] = (),
+        compute_noise: ComputeNoise | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        self.spec = spec
+        self.engine = EventEngine()
+        self._placements = spec.machine.place_ranks(
+            spec.n_ranks, strategy=spec.placement,
+            ranks_per_socket=spec.ranks_per_socket,
+        )
+        self._arbiters: dict[int, MemoryArbiter] = {}
+        for p in self._placements:
+            if p.socket not in self._arbiters:
+                self._arbiters[p.socket] = MemoryArbiter(
+                    self.engine,
+                    spec.machine.socket_bandwidth,
+                    spec.machine.core_bandwidth,
+                )
+
+        rng = np.random.default_rng(seed)
+        noise = compute_noise or NoComputeNoise()
+        self._extra = injection_matrix(tuple(injections), spec.n_ranks,
+                                       spec.n_iterations)
+        self._extra = self._extra + noise.realize(spec.n_ranks,
+                                                  spec.n_iterations, rng)
+
+        self._states = [
+            _RankState(
+                rank=r,
+                placement=self._placements[r],
+                send_partners=spec.send_partners(r),
+                recv_partners=spec.recv_partners(r),
+            )
+            for r in range(spec.n_ranks)
+        ]
+        self._timelines = [RankTimeline(rank=r) for r in range(spec.n_ranks)]
+        self._iter_ends = np.full((spec.n_iterations, spec.n_ranks), np.nan)
+
+        # (src, dst, iteration, distance-tag) arrived flags;
+        # arrivals may precede the Waitall (eager buffering).
+        self._mailbox: set[tuple[int, int, int, int]] = set()
+        # rendezvous senders blocked on (dst, iteration)
+        self._rendezvous_waiters: dict[tuple[int, int], list] = {}
+        # barrier bookkeeping
+        self._barrier_count: dict[int, int] = {}
+        self._barrier_blocked: dict[int, list[tuple[int, float]]] = {}
+
+        self._protocol = spec.network.protocol_for(spec.message_bytes)
+        self._n_finished = 0
+
+    # ------------------------------------------------------------------
+    def run(self, max_events: int | None = None) -> Trace:
+        """Execute the program; returns the trace.
+
+        ``max_events`` defaults to a generous budget proportional to the
+        work; exceeding it raises (deadlock/livelock guard).
+        """
+        if max_events is None:
+            max_events = 200 * self.spec.n_ranks * self.spec.n_iterations + 10_000
+        for state in self._states:
+            self._start_iteration(state, 0)
+        self.engine.run(max_events=max_events)
+        if self._n_finished != self.spec.n_ranks:
+            raise RuntimeError(
+                f"simulation stalled: only {self._n_finished}/"
+                f"{self.spec.n_ranks} ranks finished (deadlock?)"
+            )
+        meta = self.spec.describe()
+        meta["protocol"] = self._protocol.value
+        meta["memory"] = {
+            str(sock): {
+                "bytes": arb.stats.bytes_transferred,
+                "busy_time": arb.stats.busy_time,
+                "mean_concurrency": arb.stats.mean_concurrency(),
+            }
+            for sock, arb in self._arbiters.items()
+        }
+        return Trace(timelines=self._timelines, iteration_ends=self._iter_ends,
+                     meta=meta)
+
+    # ------------------------------------------------------------------
+    # Phase 1: iteration start (post recvs, begin compute)
+    # ------------------------------------------------------------------
+    def _start_iteration(self, state: _RankState, iteration: int) -> None:
+        now = self.engine.now
+        state.iteration = iteration
+        state.arrived = sum(
+            1 for src, d in state.recv_partners
+            if (src, state.rank, iteration, d) in self._mailbox
+        )
+        state.waiting = False
+        state.pending_send_idx = 0
+        # Posting the Irecvs unblocks any rendezvous sender targeting us.
+        key = (state.rank, iteration)
+        for resume in self._rendezvous_waiters.pop(key, []):
+            resume()
+
+        state.compute_start = now
+        core = self.spec.kernel.core_time + self._extra[iteration, state.rank]
+        self.engine.schedule_after(core, lambda s=state: self._core_done(s))
+
+    # ------------------------------------------------------------------
+    # Phase 2: compute (in-core, then memory through the arbiter)
+    # ------------------------------------------------------------------
+    def _core_done(self, state: _RankState) -> None:
+        traffic = self.spec.kernel.traffic_bytes
+        if traffic > 0:
+            arb = self._arbiters[state.placement.socket]
+            arb.start_stream(state.rank, traffic,
+                             lambda s=state: self._compute_done(s))
+        else:
+            self._compute_done(state)
+
+    def _compute_done(self, state: _RankState) -> None:
+        now = self.engine.now
+        self._timelines[state.rank].add(Activity.COMPUTE, state.compute_start,
+                                        now, state.iteration)
+        state.send_start = now
+        self._issue_sends(state)
+
+    # ------------------------------------------------------------------
+    # Phase 3: sends
+    # ------------------------------------------------------------------
+    def _issue_sends(self, state: _RankState) -> None:
+        if self._protocol is Protocol.EAGER:
+            self._issue_eager_sends(state)
+        else:
+            self._next_rendezvous_send(state)
+
+    def _issue_eager_sends(self, state: _RankState) -> None:
+        now = self.engine.now
+        net = self.spec.network
+        wire = net.transfer_time(self.spec.message_bytes)
+        t_issue = now
+        for dst, dist in state.send_partners:
+            t_issue += net.send_overhead
+            arrival = t_issue + wire
+            self.engine.schedule(
+                arrival,
+                lambda s=state.rank, dd=dst, k=state.iteration, tg=dist:
+                    self._deliver(s, dd, k, tg),
+            )
+        sends_end = t_issue
+        if sends_end > now:
+            self.engine.schedule(sends_end,
+                                 lambda s=state: self._sends_done(s))
+        else:
+            self._sends_done(state)
+
+    def _next_rendezvous_send(self, state: _RankState) -> None:
+        """Advance the sequential blocking-send chain of one rank."""
+        if state.pending_send_idx >= len(state.send_partners):
+            self._sends_done(state)
+            return
+        dst, dist = state.send_partners[state.pending_send_idx]
+        dst_state = self._states[dst]
+        k = state.iteration
+        # The receiver has posted its Irecv for iteration k iff it has
+        # started iteration k (a finished rank has passed every k).
+        if dst_state.iteration >= k:
+            wire = self.spec.network.transfer_time(self.spec.message_bytes)
+            done_t = self.engine.now + self.spec.network.send_overhead + wire
+            state.pending_send_idx += 1
+            self.engine.schedule(done_t, lambda s=state: self._next_rendezvous_send(s))
+            self.engine.schedule(
+                done_t,
+                lambda s=state.rank, dd=dst, kk=k, tg=dist:
+                    self._deliver(s, dd, kk, tg),
+            )
+        else:
+            self._rendezvous_waiters.setdefault((dst, k), []).append(
+                lambda s=state: self._next_rendezvous_send(s)
+            )
+
+    def _sends_done(self, state: _RankState) -> None:
+        now = self.engine.now
+        self._timelines[state.rank].add(Activity.SEND, state.send_start, now,
+                                        state.iteration)
+        state.wait_start = now
+        self._check_waitall(state)
+
+    # ------------------------------------------------------------------
+    # Phase 4: waitall
+    # ------------------------------------------------------------------
+    def _deliver(self, src: int, dst: int, iteration: int, tag: int) -> None:
+        self._mailbox.add((src, dst, iteration, tag))
+        dst_state = self._states[dst]
+        if (dst_state.waiting and dst_state.iteration == iteration
+                and not dst_state.done):
+            dst_state.arrived += 1
+            needed = len(dst_state.recv_partners)
+            if dst_state.arrived >= needed:
+                self._finish_iteration(dst_state)
+
+    def _check_waitall(self, state: _RankState) -> None:
+        needed = len(state.recv_partners)
+        arrived = sum(
+            1 for src, d in state.recv_partners
+            if (src, state.rank, state.iteration, d) in self._mailbox
+        )
+        state.arrived = arrived
+        if arrived >= needed:
+            self._finish_iteration(state)
+        else:
+            state.waiting = True
+
+    def _finish_iteration(self, state: _RankState) -> None:
+        now = self.engine.now
+        state.waiting = False
+        self._timelines[state.rank].add(Activity.WAIT, state.wait_start, now,
+                                        state.iteration)
+        self._iter_ends[state.iteration, state.rank] = now
+        # Free the mailbox entries of this iteration (bounded memory).
+        for src, d in state.recv_partners:
+            self._mailbox.discard((src, state.rank, state.iteration, d))
+
+        nxt = state.iteration + 1
+        bi = self.spec.barrier_interval
+        if bi is not None and nxt % bi == 0 and nxt < self.spec.n_iterations:
+            self._enter_barrier(state, nxt)
+            return
+        self._advance(state, nxt)
+
+    def _advance(self, state: _RankState, nxt: int) -> None:
+        if nxt >= self.spec.n_iterations:
+            state.done = True
+            self._n_finished += 1
+            return
+        self._start_iteration(state, nxt)
+
+    # ------------------------------------------------------------------
+    # Barrier extension
+    # ------------------------------------------------------------------
+    def _enter_barrier(self, state: _RankState, nxt: int) -> None:
+        now = self.engine.now
+        bid = nxt
+        self._barrier_count[bid] = self._barrier_count.get(bid, 0) + 1
+        self._barrier_blocked.setdefault(bid, []).append((state.rank, now))
+        if self._barrier_count[bid] == self.spec.n_ranks:
+            release = now
+            for rank, entered in self._barrier_blocked.pop(bid):
+                self._timelines[rank].add(Activity.BARRIER, entered, release,
+                                          nxt - 1)
+                self.engine.schedule(
+                    release,
+                    lambda s=self._states[rank], n=nxt: self._advance(s, n),
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def memory_stats(self) -> dict[int, MemoryArbiter]:
+        """Per-socket arbiters (for bandwidth accounting)."""
+        return dict(self._arbiters)

@@ -1,0 +1,86 @@
+"""Point-to-point message-transfer model.
+
+A deliberately simple latency/bandwidth network: transferring ``s``
+bytes takes ``latency + s / bandwidth`` seconds, independent of load
+(the paper's experiments use short messages on a fat-tree where
+contention is negligible; modelling link contention is orthogonal to
+the oscillator analogy and left out).
+
+Protocol selection follows real MPI libraries: messages up to the
+*eager limit* ship immediately and are buffered at the receiver; larger
+messages use the rendezvous handshake (the transfer cannot start before
+the matching receive is posted, coupling sender and receiver — the
+paper's ``beta = 2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.coupling import Protocol
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Transfer-time model plus protocol selection.
+
+    Attributes
+    ----------
+    latency:
+        Per-message latency (s).
+    bandwidth:
+        Link bandwidth (bytes/s).
+    eager_limit:
+        Messages <= this size use the eager protocol (bytes).  Typical
+        MPI defaults are 8-64 KiB; 16 KiB here.
+    send_overhead:
+        CPU time the sender spends issuing one send (s); also the time
+        a receiver spends posting one receive.
+    forced_protocol:
+        If set, overrides size-based selection (the paper's experiments
+        switch the protocol explicitly to change beta).
+    """
+
+    latency: float = 1.5e-6
+    bandwidth: float = 12.5e9
+    eager_limit: float = 16384.0
+    send_overhead: float = 0.2e-6
+    forced_protocol: Protocol | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("invalid latency/bandwidth")
+        if self.eager_limit < 0 or self.send_overhead < 0:
+            raise ValueError("invalid eager_limit/send_overhead")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Wire time for one message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.latency + nbytes / self.bandwidth
+
+    def protocol_for(self, nbytes: float) -> Protocol:
+        """Eager or rendezvous for a message of this size."""
+        if self.forced_protocol is not None:
+            return self.forced_protocol
+        return Protocol.EAGER if nbytes <= self.eager_limit else Protocol.RENDEZVOUS
+
+    def with_protocol(self, protocol: Protocol) -> "NetworkModel":
+        """Copy of this model with the protocol pinned."""
+        return NetworkModel(latency=self.latency, bandwidth=self.bandwidth,
+                            eager_limit=self.eager_limit,
+                            send_overhead=self.send_overhead,
+                            forced_protocol=protocol)
+
+    def describe(self) -> dict:
+        """Metadata dictionary used by exporters."""
+        return {
+            "latency_us": self.latency * 1e6,
+            "bandwidth_GBs": self.bandwidth / 1e9,
+            "eager_limit_B": self.eager_limit,
+            "send_overhead_us": self.send_overhead * 1e6,
+            "forced_protocol": (self.forced_protocol.value
+                                if self.forced_protocol else None),
+        }

@@ -1,0 +1,118 @@
+"""Noise and delay injection for the cluster simulator.
+
+Two channels, mirroring the oscillator model's:
+
+* :class:`Injection` — one-off extra workload on a single rank at a
+  single iteration (the paper's idle-wave trigger: "extra workload
+  performed by the 5th MPI process");
+* :class:`ComputeNoise` subclasses — per-(rank, iteration) random extra
+  compute time, realised up-front into a dense matrix so DES runs are
+  reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Injection",
+    "ComputeNoise",
+    "NoComputeNoise",
+    "GaussianComputeNoise",
+    "ExponentialComputeNoise",
+    "injection_matrix",
+]
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One-off extra workload: ``extra_time`` seconds on ``rank`` at
+    ``iteration``."""
+
+    rank: int
+    iteration: int
+    extra_time: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0 or self.iteration < 0:
+            raise ValueError("rank and iteration must be non-negative")
+        if self.extra_time <= 0:
+            raise ValueError("extra_time must be positive")
+
+
+def injection_matrix(injections: tuple[Injection, ...] | list[Injection],
+                     n_ranks: int, n_iterations: int) -> np.ndarray:
+    """Dense ``(n_iterations, n_ranks)`` matrix of injected seconds."""
+    out = np.zeros((n_iterations, n_ranks))
+    for inj in injections:
+        if inj.rank >= n_ranks:
+            raise ValueError(f"injection rank {inj.rank} out of range")
+        if inj.iteration >= n_iterations:
+            raise ValueError(f"injection iteration {inj.iteration} out of range")
+        out[inj.iteration, inj.rank] += inj.extra_time
+    return out
+
+
+class ComputeNoise(ABC):
+    """Random per-iteration compute-time perturbation."""
+
+    @abstractmethod
+    def realize(self, n_ranks: int, n_iterations: int,
+                rng: np.random.Generator) -> np.ndarray:
+        """Matrix of extra seconds, shape ``(n_iterations, n_ranks)``,
+        all entries >= 0 (OS noise only delays)."""
+
+    def describe(self) -> dict:
+        """Metadata dictionary used by exporters."""
+        return {"type": type(self).__name__}
+
+
+class NoComputeNoise(ComputeNoise):
+    """The silent cluster."""
+
+    def realize(self, n_ranks: int, n_iterations: int,
+                rng: np.random.Generator) -> np.ndarray:
+        return np.zeros((n_iterations, n_ranks))
+
+
+@dataclass
+class GaussianComputeNoise(ComputeNoise):
+    """Half-normal noise: ``|N(0, std)|`` seconds per (rank, iteration)."""
+
+    std: float
+
+    def realize(self, n_ranks: int, n_iterations: int,
+                rng: np.random.Generator) -> np.ndarray:
+        if self.std < 0:
+            raise ValueError("std must be non-negative")
+        return np.abs(rng.normal(0.0, self.std, size=(n_iterations, n_ranks)))
+
+    def describe(self) -> dict:
+        return {"type": "GaussianComputeNoise", "std": self.std}
+
+
+@dataclass
+class ExponentialComputeNoise(ComputeNoise):
+    """Sparse spiky noise: with probability ``prob`` per (rank, iteration)
+    an exponential delay of mean ``scale`` seconds — a good model of OS
+    daemon interference."""
+
+    scale: float
+    prob: float = 0.05
+
+    def realize(self, n_ranks: int, n_iterations: int,
+                rng: np.random.Generator) -> np.ndarray:
+        if self.scale < 0:
+            raise ValueError("scale must be non-negative")
+        if not (0.0 <= self.prob <= 1.0):
+            raise ValueError("prob must be in [0, 1]")
+        hits = rng.random((n_iterations, n_ranks)) < self.prob
+        mags = rng.exponential(self.scale, size=(n_iterations, n_ranks))
+        return np.where(hits, mags, 0.0)
+
+    def describe(self) -> dict:
+        return {"type": "ExponentialComputeNoise", "scale": self.scale,
+                "prob": self.prob}

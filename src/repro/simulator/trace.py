@@ -1,0 +1,210 @@
+"""ITAC-like execution traces for the simulated MPI programs.
+
+The paper's evidence is trace phenomenology (Fig. 2 insets show Intel
+Trace Analyzer timelines with computation in white and communication/
+waiting in red).  The DES produces the same information: per-rank lists
+of :class:`Interval` records plus a dense matrix of iteration-end
+timestamps that the analysis layer consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Activity", "Interval", "RankTimeline", "Trace"]
+
+
+class Activity:
+    """Interval kinds (string constants, not an enum, for cheap JSON)."""
+
+    COMPUTE = "compute"
+    SEND = "send"
+    WAIT = "wait"
+    BARRIER = "barrier"
+
+    ALL = (COMPUTE, SEND, WAIT, BARRIER)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One activity span on one rank.
+
+    ``t_end`` may equal ``t_start`` (zero-length waits are recorded so
+    the per-iteration structure stays uniform).
+    """
+
+    kind: str
+    t_start: float
+    t_end: float
+    iteration: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in Activity.ALL:
+            raise ValueError(f"unknown activity kind {self.kind!r}")
+        if self.t_end < self.t_start - 1e-12:
+            raise ValueError(
+                f"interval ends before it starts: [{self.t_start}, {self.t_end}]"
+            )
+        if self.iteration < 0:
+            raise ValueError("iteration must be non-negative")
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return max(self.t_end - self.t_start, 0.0)
+
+
+@dataclass
+class RankTimeline:
+    """All intervals of one rank, in chronological order."""
+
+    rank: int
+    intervals: list[Interval] = field(default_factory=list)
+
+    def add(self, kind: str, t_start: float, t_end: float, iteration: int) -> None:
+        """Append an interval (must not precede the previous one)."""
+        if self.intervals and t_start < self.intervals[-1].t_end - 1e-9:
+            raise ValueError(
+                f"rank {self.rank}: interval at {t_start} overlaps previous "
+                f"ending {self.intervals[-1].t_end}"
+            )
+        self.intervals.append(Interval(kind, t_start, t_end, iteration))
+
+    def total(self, kind: str) -> float:
+        """Total seconds spent in one activity kind."""
+        return sum(iv.duration for iv in self.intervals if iv.kind == kind)
+
+    def busy_fraction(self) -> float:
+        """Compute time / wall time (idle-wave damage indicator)."""
+        if not self.intervals:
+            return 0.0
+        span = self.intervals[-1].t_end - self.intervals[0].t_start
+        return self.total(Activity.COMPUTE) / span if span > 0 else 0.0
+
+
+@dataclass
+class Trace:
+    """Full program trace: timelines + iteration-end matrix + metadata.
+
+    Attributes
+    ----------
+    timelines:
+        One :class:`RankTimeline` per rank.
+    iteration_ends:
+        ``(n_iters, n_ranks)`` matrix: when each rank finished each
+        iteration (including its waits) — the discrete analogue of the
+        oscillator phases.
+    meta:
+        Free-form description of the run (kernel, topology, machine...).
+    """
+
+    timelines: list[RankTimeline]
+    iteration_ends: np.ndarray
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.iteration_ends = np.asarray(self.iteration_ends, dtype=float)
+        if self.iteration_ends.ndim != 2:
+            raise ValueError("iteration_ends must be 2-D (n_iters, n_ranks)")
+        if self.iteration_ends.shape[1] != len(self.timelines):
+            raise ValueError("iteration_ends and timelines disagree on ranks")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks."""
+        return len(self.timelines)
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of bulk-synchronous iterations."""
+        return int(self.iteration_ends.shape[0])
+
+    @property
+    def makespan(self) -> float:
+        """Total wall time (last iteration end anywhere)."""
+        return float(self.iteration_ends[-1].max()) if self.iteration_ends.size else 0.0
+
+    def wait_matrix(self) -> np.ndarray:
+        """Per-(iteration, rank) waiting time, shape ``(n_iters, n_ranks)``.
+
+        This is what an idle wave looks like in a trace: a ridge of
+        waiting travelling across ranks.
+        """
+        out = np.zeros((self.n_iterations, self.n_ranks))
+        for r, tl in enumerate(self.timelines):
+            for iv in tl.intervals:
+                if iv.kind == Activity.WAIT and iv.iteration < self.n_iterations:
+                    out[iv.iteration, r] += iv.duration
+        return out
+
+    def compute_matrix(self) -> np.ndarray:
+        """Per-(iteration, rank) compute time."""
+        out = np.zeros((self.n_iterations, self.n_ranks))
+        for r, tl in enumerate(self.timelines):
+            for iv in tl.intervals:
+                if iv.kind == Activity.COMPUTE and iv.iteration < self.n_iterations:
+                    out[iv.iteration, r] += iv.duration
+        return out
+
+    def iteration_durations(self) -> np.ndarray:
+        """Per-(iteration, rank) cycle times (diff of the end matrix)."""
+        ends = self.iteration_ends
+        starts = np.vstack([np.zeros((1, self.n_ranks)), ends[:-1]])
+        return ends - starts
+
+    def total_wait(self) -> float:
+        """Seconds of waiting summed over all ranks."""
+        return float(sum(tl.total(Activity.WAIT) for tl in self.timelines))
+
+    def aggregate_bandwidth(self, traffic_per_iteration: float) -> float:
+        """Achieved aggregate bandwidth (bytes/s) given per-rank traffic."""
+        if self.makespan <= 0:
+            return 0.0
+        total = traffic_per_iteration * self.n_ranks * self.n_iterations
+        return total / self.makespan
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise (timelines + meta) for archival."""
+        payload = {
+            "meta": self.meta,
+            "iteration_ends": self.iteration_ends.tolist(),
+            "timelines": [
+                {
+                    "rank": tl.rank,
+                    "intervals": [
+                        {"kind": iv.kind, "t0": iv.t_start, "t1": iv.t_end,
+                         "it": iv.iteration}
+                        for iv in tl.intervals
+                    ],
+                }
+                for tl in self.timelines
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Trace":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(payload)
+        timelines = []
+        for tl in data["timelines"]:
+            rt = RankTimeline(rank=tl["rank"])
+            for iv in tl["intervals"]:
+                rt.intervals.append(
+                    Interval(iv["kind"], iv["t0"], iv["t1"], iv["it"])
+                )
+            timelines.append(rt)
+        return cls(timelines=timelines,
+                   iteration_ends=np.asarray(data["iteration_ends"]),
+                   meta=data.get("meta", {}))
+
+
+def merge_time_ordered(intervals: Iterable[Interval]) -> list[Interval]:
+    """Sort intervals chronologically (utility for renderers)."""
+    return sorted(intervals, key=lambda iv: (iv.t_start, iv.t_end))

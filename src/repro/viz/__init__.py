@@ -1,0 +1,19 @@
+"""Rendering and data export: ASCII views + CSV/JSON writers."""
+
+from .ascii import circle_diagram, heatmap, sparkline, timeline
+from .circle import (
+    CircleFrame,
+    circle_animation_frames,
+    circle_frame,
+    phase_clusters,
+)
+from .export import read_csv, write_csv, write_json, write_matrix
+from .report import ReportBuilder, generate_report
+
+__all__ = [
+    "circle_diagram", "heatmap", "sparkline", "timeline",
+    "CircleFrame", "circle_animation_frames", "circle_frame",
+    "phase_clusters",
+    "read_csv", "write_csv", "write_json", "write_matrix",
+    "ReportBuilder", "generate_report",
+]

@@ -1,0 +1,130 @@
+"""ASCII renderers for trajectories and traces.
+
+The paper's MATLAB artifact ships a GUI with three views (circle
+diagram, phase-difference timeline, potential timeline); in a terminal
+library the equivalents are character rasters:
+
+* :func:`heatmap` — ranks x time intensity raster (used for the
+  lagger-normalised phase view, where an idle wave is a travelling
+  ridge, and for trace wait-matrices);
+* :func:`circle_diagram` — oscillator phases on a character circle;
+* :func:`timeline` — a trace's per-rank activity bars (compute ``#``,
+  wait ``.``, send ``>``), the ITAC-inset look of Fig. 2;
+* :func:`sparkline` — one-line series summaries for reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["heatmap", "circle_diagram", "timeline", "sparkline"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap(matrix: np.ndarray, *, width: int = 72, height: int | None = None,
+            title: str = "", ylabel: str = "rank") -> str:
+    """Render a 2-D array as an ASCII intensity raster.
+
+    Rows are the *second* axis (ranks), columns the first (time), i.e.
+    pass arrays shaped ``(n_time, n_ranks)`` as produced everywhere in
+    this library.  Intensity is min-max normalised over the whole
+    matrix.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError("heatmap needs a 2-D array")
+    m = m.T  # rows = ranks
+    n_ranks, n_time = m.shape
+    height = height or min(n_ranks, 40)
+
+    # Downsample to the character raster.
+    row_idx = np.linspace(0, n_ranks - 1, height).round().astype(int)
+    col_idx = np.linspace(0, n_time - 1, min(width, n_time)).round().astype(int)
+    sub = m[np.ix_(row_idx, col_idx)]
+
+    lo, hi = float(np.nanmin(sub)), float(np.nanmax(sub))
+    span = hi - lo if hi > lo else 1.0
+    levels = ((sub - lo) / span * (len(_SHADES) - 1)).round().astype(int)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(levels.shape[0]):
+        label = f"{ylabel}{row_idx[r]:>4d} |"
+        lines.append(label + "".join(_SHADES[v] for v in levels[r]))
+    lines.append(" " * 10 + f"t: [{0}..{n_time - 1}]  value: [{lo:.3g}, {hi:.3g}]")
+    return "\n".join(lines)
+
+
+def circle_diagram(theta: np.ndarray, *, radius: int = 10,
+                   title: str = "") -> str:
+    """Plot phases (mod 2*pi) as digits on a character circle.
+
+    Each oscillator is drawn at its phase angle; collisions show the
+    count capped at 9 — a tight cluster (synchronised) renders as one
+    heavy spot, a splayed state as a ring of digits.
+    """
+    theta = np.asarray(theta, dtype=float)
+    if theta.ndim != 1:
+        raise ValueError("theta must be 1-D")
+    size = 2 * radius + 1
+    grid = [[" " for _ in range(2 * size)] for _ in range(size)]
+    # Faint circle outline.
+    for a in np.linspace(0, 2 * np.pi, 120, endpoint=False):
+        x = int(round(radius + radius * np.cos(a)))
+        y = int(round(radius - radius * np.sin(a)))
+        grid[y][2 * x] = "·"
+    counts: dict[tuple[int, int], int] = {}
+    for ang in np.mod(theta, 2.0 * np.pi):
+        x = int(round(radius + radius * np.cos(ang)))
+        y = int(round(radius - radius * np.sin(ang)))
+        counts[(y, x)] = counts.get((y, x), 0) + 1
+    for (y, x), c in counts.items():
+        grid[y][2 * x] = str(min(c, 9))
+    lines = ([title] if title else []) + ["".join(row) for row in grid]
+    return "\n".join(lines)
+
+
+def timeline(wait_matrix: np.ndarray, *, width: int = 72,
+             title: str = "") -> str:
+    """Render a trace wait-matrix as per-rank activity bars.
+
+    Input shape ``(n_iterations, n_ranks)`` of waiting seconds; cells
+    render ``#`` (negligible wait = computing), ``+``, ``.`` by wait
+    intensity — an idle wave reads as a diagonal streak of dots, like
+    the red streaks in the paper's ITAC insets.
+    """
+    w = np.asarray(wait_matrix, dtype=float).T  # rows = ranks
+    n_ranks, n_iters = w.shape
+    hi = float(w.max()) if w.size else 0.0
+    col_idx = np.linspace(0, n_iters - 1, min(width, n_iters)).round().astype(int)
+
+    def cell(v: float) -> str:
+        if hi <= 0 or v < 0.05 * hi:
+            return "#"
+        if v < 0.4 * hi:
+            return "+"
+        return "."
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(n_ranks):
+        lines.append(f"rank{r:>4d} |" + "".join(cell(w[r, c]) for c in col_idx))
+    lines.append(" " * 9 + "# compute   + some wait   . heavy wait")
+    return "\n".join(lines)
+
+
+def sparkline(values: np.ndarray, *, width: int = 60) -> str:
+    """One-line min-max normalised series."""
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1 or v.size == 0:
+        raise ValueError("sparkline needs a non-empty 1-D array")
+    idx = np.linspace(0, v.size - 1, min(width, v.size)).round().astype(int)
+    sub = v[idx]
+    lo, hi = float(np.nanmin(sub)), float(np.nanmax(sub))
+    span = hi - lo if hi > lo else 1.0
+    blocks = "▁▂▃▄▅▆▇█"
+    lev = ((sub - lo) / span * (len(blocks) - 1)).round().astype(int)
+    return "".join(blocks[k] for k in lev)

@@ -1,0 +1,104 @@
+"""CSV/JSON exporters used by the experiment scripts and benchmarks.
+
+Every paper artefact is regenerated as plain data files so that any
+plotting tool can redraw the figures; the writers here keep the format
+uniform (header comment with metadata, then a CSV table).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["write_csv", "write_json", "write_matrix", "read_csv"]
+
+
+def _prepare(path: str | Path) -> Path:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    return p
+
+
+def write_csv(path: str | Path, columns: Mapping[str, Sequence],
+              *, meta: Mapping | None = None) -> Path:
+    """Write named columns as CSV with an optional ``#``-comment header.
+
+    All columns must have equal length.
+    """
+    p = _prepare(path)
+    names = list(columns.keys())
+    if not names:
+        raise ValueError("need at least one column")
+    lengths = {name: len(columns[name]) for name in names}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"column lengths differ: {lengths}")
+
+    with p.open("w", newline="") as fh:
+        if meta:
+            fh.write("# " + json.dumps(dict(meta)) + "\n")
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for row in zip(*(columns[name] for name in names)):
+            writer.writerow([_fmt(v) for v in row])
+    return p
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.10g}"
+    return str(v)
+
+
+def write_json(path: str | Path, payload) -> Path:
+    """Write a JSON document (NumPy arrays converted to lists)."""
+    p = _prepare(path)
+
+    def default(o):
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if isinstance(o, (np.floating, np.integer)):
+            return o.item()
+        raise TypeError(f"not JSON-serialisable: {type(o)}")
+
+    p.write_text(json.dumps(payload, indent=2, default=default))
+    return p
+
+
+def write_matrix(path: str | Path, matrix: np.ndarray,
+                 *, meta: Mapping | None = None) -> Path:
+    """Write a 2-D array as CSV (column per second-axis index)."""
+    m = np.asarray(matrix)
+    if m.ndim != 2:
+        raise ValueError("write_matrix needs a 2-D array")
+    cols = {f"c{j}": m[:, j] for j in range(m.shape[1])}
+    return write_csv(path, cols, meta=meta)
+
+
+def read_csv(path: str | Path) -> dict[str, np.ndarray | list[str]]:
+    """Read back a :func:`write_csv` file.
+
+    Columns whose cells all parse as floats come back as float arrays;
+    anything else (e.g. panel labels, state names) stays a list of
+    strings.
+    """
+    p = Path(path)
+    with p.open() as fh:
+        lines = [ln for ln in fh if not ln.startswith("#")]
+    reader = csv.reader(lines)
+    header = next(reader)
+    raw: dict[str, list[str]] = {name: [] for name in header}
+    for row in reader:
+        for name, cell in zip(header, row):
+            raw[name].append(cell)
+
+    out: dict[str, np.ndarray | list[str]] = {}
+    for name, cells in raw.items():
+        try:
+            out[name] = np.asarray([float(c) for c in cells])
+        except ValueError:
+            out[name] = cells
+    return out

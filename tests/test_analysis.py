@@ -1,0 +1,180 @@
+"""Tests for the trace-analysis layer (idle waves, desync, bandwidth)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_desync,
+    analytic_bandwidth_curve,
+    iteration_skew,
+    lag_matrix,
+    measure_scaling,
+    measure_trace_wave,
+    saturation_point,
+    trace_arrival_times,
+    wavefront_slope,
+)
+from repro.simulator import (
+    ClusterSimulator,
+    Injection,
+    MachineSpec,
+    PiSolverKernel,
+    ProgramSpec,
+    RankTimeline,
+    StreamTriadKernel,
+    Trace,
+)
+
+
+def synthetic_trace(ends: np.ndarray) -> Trace:
+    """Trace with given iteration-end matrix and empty timelines."""
+    n = ends.shape[1]
+    return Trace(timelines=[RankTimeline(rank=r) for r in range(n)],
+                 iteration_ends=np.asarray(ends, dtype=float))
+
+
+def wave_pair(n=10, n_iters=15, src=3, inject_at=4, delay=1.0,
+              speed=1.0, iter_time=1.0):
+    """Synthetic baseline/disturbed pair with a wave of known speed."""
+    base = np.cumsum(np.full((n_iters, n), iter_time), axis=0)
+    lag = np.zeros((n_iters, n))
+    idx = np.arange(n)
+    raw = np.abs(idx - src)
+    dist = np.minimum(raw, n - raw)
+    for k in range(n_iters):
+        hit = dist <= (k - inject_at) * speed
+        lag[k, hit] = delay
+    return synthetic_trace(base), synthetic_trace(base + lag)
+
+
+class TestLagAndArrival:
+    def test_lag_matrix(self):
+        b, d = wave_pair()
+        lag = lag_matrix(b, d)
+        assert lag.max() == pytest.approx(1.0)
+        assert lag.min() == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        b, _ = wave_pair(n=4)
+        _, d = wave_pair(n=5)
+        with pytest.raises(ValueError, match="different shapes"):
+            lag_matrix(b, d)
+
+    def test_arrival_iterations_grow_with_distance(self):
+        b, d = wave_pair(speed=1.0)
+        _, arr_k = trace_arrival_times(b, d)
+        idx = np.arange(10)
+        dist = np.minimum(np.abs(idx - 3), 10 - np.abs(idx - 3))
+        order = np.argsort(dist)
+        assert np.all(np.diff(arr_k[order]) >= 0)
+
+    def test_no_wave_returns_inf(self):
+        b, _ = wave_pair()
+        arr_t, arr_k = trace_arrival_times(b, b)
+        assert np.all(np.isinf(arr_t))
+
+
+class TestTraceWave:
+    def test_speed_recovered(self):
+        for speed in (0.5, 1.0, 2.0):
+            b, d = wave_pair(speed=speed, n=16, n_iters=25)
+            fit = measure_trace_wave(b, d, source=3)
+            assert fit.speed_ranks_per_iteration == pytest.approx(speed,
+                                                                  rel=0.25)
+
+    def test_conserved_wave_has_no_decay(self):
+        b, d = wave_pair()
+        fit = measure_trace_wave(b, d, source=3)
+        assert fit.decay_length_ranks == float("inf")
+
+    def test_source_validated(self):
+        b, d = wave_pair()
+        with pytest.raises(ValueError, match="source"):
+            measure_trace_wave(b, d, source=99)
+
+    def test_on_real_des_traces(self):
+        m = MachineSpec(nodes=2, sockets_per_node=2, cores_per_socket=4,
+                        socket_bandwidth=40e9, core_bandwidth=10e9,
+                        core_flops=30e9)
+        spec = ProgramSpec(n_ranks=12, n_iterations=20,
+                           kernel=PiSolverKernel(1e5, machine=m),
+                           machine=m, distances=(1, -1))
+        base = ClusterSimulator(spec, seed=0).run()
+        extra = 4.0 * spec.kernel.single_core_time(m)
+        dist = ClusterSimulator(spec, injections=[
+            Injection(rank=2, iteration=3, extra_time=extra)], seed=0).run()
+        fit = measure_trace_wave(base, dist, source=2)
+        assert fit.speed_ranks_per_iteration == pytest.approx(1.0, rel=0.2)
+
+
+class TestDesyncAnalysis:
+    def test_lockstep_trace_not_desynchronized(self):
+        ends = np.cumsum(np.ones((10, 6)), axis=0)
+        rep = analyze_desync(synthetic_trace(ends))
+        assert rep.final_skew == pytest.approx(0.0)
+        assert not rep.is_desynchronized
+        assert rep.desync_index == pytest.approx(0.0)
+
+    def test_staggered_trace_detected(self):
+        base = np.cumsum(np.ones((10, 6)), axis=0)
+        stagger = 0.3 * np.arange(6)
+        rep = analyze_desync(synthetic_trace(base + stagger))
+        assert rep.is_desynchronized
+        assert rep.slope_per_rank == pytest.approx(0.3, rel=0.05)
+
+    def test_socket_wise_slope(self):
+        base = np.cumsum(np.ones((10, 8)), axis=0)
+        # Two sockets of 4 with internal stagger 0.2/rank.
+        stagger = np.tile(0.2 * np.arange(4), 2)
+        rep = analyze_desync(synthetic_trace(base + stagger), socket_size=4)
+        assert rep.slope_per_rank == pytest.approx(0.2, rel=0.05)
+
+    def test_iteration_skew_series(self):
+        ends = np.cumsum(np.ones((5, 3)), axis=0)
+        ends[:, 2] += 0.5
+        np.testing.assert_allclose(iteration_skew(synthetic_trace(ends)),
+                                   0.5)
+
+    def test_invalid_tail_fraction(self):
+        ends = np.ones((3, 2))
+        with pytest.raises(ValueError):
+            analyze_desync(synthetic_trace(ends), tail_fraction=0.0)
+
+
+class TestBandwidthAnalysis:
+    def test_analytic_curve_saturates_at_ceiling(self):
+        m = MachineSpec.meggie()
+        k = StreamTriadKernel(4e6)
+        curve = analytic_bandwidth_curve(k, m, list(range(1, 11)))
+        assert curve[-1] == pytest.approx(68.0, rel=0.05)
+        assert curve[0] == pytest.approx(k.demanded_bandwidth(m) / 1e9,
+                                         rel=1e-6)
+
+    def test_analytic_curve_monotone(self):
+        m = MachineSpec.meggie()
+        k = StreamTriadKernel(4e6)
+        curve = analytic_bandwidth_curve(k, m, list(range(1, 11)))
+        assert np.all(np.diff(curve) >= -1e-9)
+
+    def test_measured_matches_analytic(self):
+        """The DES occupancy sweep must land on the closed-form curve
+        (same arbiter physics, so agreement should be tight)."""
+        m = MachineSpec.meggie()
+        k = StreamTriadKernel(2e6)
+        res = measure_scaling(k, m, n_iterations=5)
+        for measured, analytic in zip(res.bandwidth_GBs, res.analytic_GBs):
+            assert measured == pytest.approx(analytic, rel=0.05)
+
+    def test_saturation_point_passthrough(self):
+        m = MachineSpec.meggie()
+        assert saturation_point(StreamTriadKernel(4e6), m) == pytest.approx(
+            5.0, rel=0.15)
+
+    def test_pisolver_curve_is_zero(self):
+        m = MachineSpec.meggie()
+        res = measure_scaling(PiSolverKernel(1e5), m, n_iterations=3)
+        assert max(res.bandwidth_GBs) == 0.0
+        assert not res.saturates
+        # Constant per-sweep time = linear scaling.
+        times = res.time_per_iteration
+        assert max(times) <= min(times) * 1.05 + 1e-5

@@ -1,0 +1,165 @@
+"""Tests for model calibration and the SuperMUC-NG cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    calibrate_beta_kappa,
+    estimate_cycle_from_trace,
+    estimate_sigma_from_gaps,
+    estimate_sigma_from_trace,
+    fit_model_to_trace,
+)
+from repro.core import (
+    BottleneckPotential,
+    PhysicalOscillatorModel,
+    ring,
+    simulate,
+)
+from repro.experiments import run_supermuc
+from repro.metrics import classify
+from repro.simulator import (
+    ClusterSimulator,
+    Injection,
+    MachineSpec,
+    PiSolverKernel,
+    ProgramSpec,
+    StreamTriadKernel,
+)
+
+
+class TestSigmaFromGaps:
+    def test_inverts_the_gap_law(self):
+        sigma = 1.2
+        gaps = np.full(10, 2 * sigma / 3)
+        assert estimate_sigma_from_gaps(gaps) == pytest.approx(sigma)
+
+    def test_mixed_signs_handled(self):
+        sigma = 0.9
+        gaps = np.array([1, -1, 1, -1]) * (2 * sigma / 3)
+        assert estimate_sigma_from_gaps(gaps) == pytest.approx(sigma)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sigma_from_gaps(np.array([]))
+
+    def test_roundtrip_through_simulation(self):
+        """Simulate a bottleneck model, estimate sigma back from the
+        asymptotic gaps: the estimate recovers the true value."""
+        true_sigma = 1.4
+        m = PhysicalOscillatorModel(
+            topology=ring(12, (1, -1)),
+            potential=BottleneckPotential(sigma=true_sigma),
+            t_comp=0.9, t_comm=0.1, v_p_override=6.0)
+        rng = np.random.default_rng(4)
+        traj = simulate(m, 100.0, theta0=rng.normal(0, 1e-3, 12), seed=0)
+        v = classify(traj.ts, traj.thetas, m.omega)
+        est = estimate_sigma_from_gaps(np.array([v.mean_abs_gap]))
+        assert est == pytest.approx(true_sigma, rel=0.05)
+
+
+class TestCycleFromTrace:
+    def test_compute_bound_split(self):
+        m = MachineSpec(nodes=1, sockets_per_node=2, cores_per_socket=4,
+                        socket_bandwidth=40e9, core_bandwidth=10e9,
+                        core_flops=30e9)
+        spec = ProgramSpec(n_ranks=6, n_iterations=10,
+                           kernel=PiSolverKernel(1e5, machine=m),
+                           machine=m, distances=(1, -1))
+        trace = ClusterSimulator(spec, seed=0).run()
+        cyc = estimate_cycle_from_trace(trace)
+        assert cyc.t_comp == pytest.approx(spec.kernel.core_time, rel=1e-6)
+        assert cyc.t_comm < 0.05 * cyc.t_comp
+        assert cyc.period == pytest.approx(cyc.t_comp + cyc.t_comm)
+        assert cyc.omega == pytest.approx(2 * np.pi / cyc.period)
+
+
+class TestSigmaFromTrace:
+    def test_lockstep_trace_gives_zero(self):
+        m = MachineSpec(nodes=1, sockets_per_node=2, cores_per_socket=4,
+                        socket_bandwidth=40e9, core_bandwidth=10e9,
+                        core_flops=30e9)
+        spec = ProgramSpec(n_ranks=6, n_iterations=12,
+                           kernel=PiSolverKernel(1e5, machine=m),
+                           machine=m, distances=(1, -1))
+        trace = ClusterSimulator(spec, seed=0).run()
+        assert estimate_sigma_from_trace(trace) == pytest.approx(0.0,
+                                                                 abs=1e-6)
+
+    def test_desynchronized_trace_gives_positive_sigma(self):
+        kernel = StreamTriadKernel(2e6)
+        machine = MachineSpec.meggie()
+        spec = ProgramSpec(n_ranks=20, n_iterations=30, kernel=kernel,
+                           machine=machine, distances=(1, -1))
+        extra = 3.0 * kernel.single_core_time(machine)
+        inj = Injection(rank=4, iteration=3, extra_time=extra)
+        trace = ClusterSimulator(spec, injections=[inj], seed=0).run()
+        sigma = estimate_sigma_from_trace(trace, socket_size=10)
+        assert sigma > 0.01
+
+    def test_fit_model_to_trace_classifies(self):
+        kernel = StreamTriadKernel(2e6)
+        machine = MachineSpec.meggie()
+        spec = ProgramSpec(n_ranks=20, n_iterations=30, kernel=kernel,
+                           machine=machine, distances=(1, -1))
+        extra = 3.0 * kernel.single_core_time(machine)
+        inj = Injection(rank=4, iteration=3, extra_time=extra)
+        trace = ClusterSimulator(spec, injections=[inj], seed=0).run()
+        fit = fit_model_to_trace(trace, socket_size=10)
+        assert not fit["scalable"]
+        assert fit["period"] > 0
+        assert fit["sigma"] > 0
+
+
+class TestBetaKappaCalibration:
+    def test_recovers_known_coupling(self):
+        """Measure a wave speed at a known beta*kappa, then invert."""
+        from repro.core import OneOffDelay, TanhPotential
+        from repro.metrics import measure_wave_speed
+
+        true_bk = 4.0
+        m = PhysicalOscillatorModel(
+            topology=ring(24, (1, -1)), potential=TanhPotential(),
+            t_comp=0.9, t_comm=0.1, v_p_override=true_bk,
+            delays=(OneOffDelay(rank=6, t_start=10.0, delay=1.0),))
+        traj = simulate(m, 200.0, seed=0)
+        speed = measure_wave_speed(traj.ts, traj.thetas, m.omega, 6,
+                                   t_injection=10.0).speed
+
+        result = calibrate_beta_kappa(speed, n_ranks=24, t_end=200.0)
+        assert result["converged"]
+        assert result["beta_kappa"] == pytest.approx(true_bk, rel=0.25)
+
+    def test_rejects_unreachable_speed(self):
+        with pytest.raises(ValueError, match="outside achievable"):
+            calibrate_beta_kappa(1e6, n_ranks=12, t_end=60.0,
+                                 bk_range=(0.1, 1.0))
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError, match="positive"):
+            calibrate_beta_kappa(-1.0)
+
+
+class TestSupermuc:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_supermuc(n_ranks=48, n_iterations=60,
+                            array_elements=2e6)
+
+    def test_stream_saturates_wider_socket_later(self, result):
+        """24-core Skylake socket: saturation beyond Meggie's 5 cores."""
+        assert result.stream_curve.saturates
+        assert result.stream_curve.saturation_ranks > 6.0
+        assert result.stream_curve.bandwidth_GBs[-1] == pytest.approx(
+            105.0, rel=0.05)
+
+    def test_same_phenomenology_as_meggie(self, result):
+        assert result.stream_desync.is_desynchronized
+        assert not result.pisolver_desync.is_desynchronized
+        assert result.phenomenology_matches_meggie
+
+    def test_wave_speed_machine_independent(self, result):
+        """d=±1 eager wave speed is 1 rank/iteration on any machine
+        (it is a dependency-structure property, not a hardware one)."""
+        assert result.stream_wave.speed_ranks_per_iteration == \
+            pytest.approx(1.0, rel=0.25)

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_args(self):
+        args = build_parser().parse_args(["run", "fig1a", "--out", "/tmp/x"])
+        assert args.experiment == "fig1a"
+        assert args.out == "/tmp/x"
+
+    def test_model_defaults(self):
+        args = build_parser().parse_args(["model"])
+        assert args.n == 24
+        assert args.potential == "tanh"
+        assert args.view == "phases"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.kernel == "pisolver"
+        assert args.ranks == 40
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out
+        assert "fig2" in out
+
+    def test_run_fig1a(self, capsys, tmp_path):
+        assert main(["run", "fig1a", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig1a_potentials.csv").exists()
+        assert "FIG1A" in capsys.readouterr().out
+
+    def test_model_summary_view(self, capsys):
+        rc = main(["model", "--n", "8", "--t-end", "20",
+                   "--view", "summary"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "beta*kappa=2" in out
+
+    def test_model_circle_view(self, capsys):
+        rc = main(["model", "--n", "8", "--t-end", "10",
+                   "--view", "circle"])
+        assert rc == 0
+        assert "asymptotic phases" in capsys.readouterr().out
+
+    def test_model_bottleneck_with_delay(self, capsys):
+        rc = main(["model", "--n", "8", "--potential", "bottleneck",
+                   "--sigma", "1.0", "--t-end", "30", "--delay-rank", "2",
+                   "--view", "summary"])
+        assert rc == 0
+
+    def test_model_rendezvous_waitall(self, capsys):
+        rc = main(["model", "--n", "8", "--t-end", "10",
+                   "--protocol", "rendezvous", "--waitall",
+                   "--distances", "1,-1,-2", "--view", "summary"])
+        assert rc == 0
+        # beta=2, kappa=max=2 under waitall.
+        assert "beta*kappa=4" in capsys.readouterr().out
+
+    def test_trace_with_delay(self, capsys):
+        rc = main(["trace", "--kernel", "pisolver", "--ranks", "8",
+                   "--iters", "10", "--delay-rank", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_bad_distances_message(self):
+        with pytest.raises(SystemExit, match="bad distance set"):
+            main(["model", "--distances", "1,x"])
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig77"])

@@ -1,0 +1,67 @@
+"""Tests for the coupling-strength rule v_p = beta*kappa/(t_comp+t_comm)."""
+
+import pytest
+
+from repro.core import CouplingSpec, Protocol, WaitMode, ring
+
+
+class TestProtocol:
+    def test_eager_beta(self):
+        assert Protocol.EAGER.beta == 1.0
+
+    def test_rendezvous_beta(self):
+        assert Protocol.RENDEZVOUS.beta == 2.0
+
+
+class TestCouplingSpec:
+    def test_paper_formula_next_neighbor(self):
+        # eager, d=+-1, T=1s: v_p = 1 * 2 / 1 = 2.
+        spec = CouplingSpec()
+        topo = ring(10, (1, -1))
+        assert spec.v_p(topo, t_comp=0.9, t_comm=0.1) == pytest.approx(2.0)
+
+    def test_rendezvous_doubles_v_p(self):
+        topo = ring(10, (1, -1))
+        eager = CouplingSpec(protocol=Protocol.EAGER)
+        rdv = CouplingSpec(protocol=Protocol.RENDEZVOUS)
+        assert rdv.v_p(topo, 0.9, 0.1) == pytest.approx(
+            2.0 * eager.v_p(topo, 0.9, 0.1))
+
+    def test_waitall_uses_max_distance(self):
+        topo = ring(10, (1, -1, -2))
+        sep = CouplingSpec(wait_mode=WaitMode.SEPARATE)
+        grouped = CouplingSpec(wait_mode=WaitMode.WAITALL)
+        assert sep.kappa(topo) == 4.0
+        assert grouped.kappa(topo) == 2.0
+
+    def test_beta_kappa_product(self):
+        topo = ring(10, (1, -1, -2))
+        spec = CouplingSpec(protocol=Protocol.RENDEZVOUS)
+        assert spec.beta_kappa(topo) == pytest.approx(8.0)
+
+    def test_longer_cycle_weakens_coupling(self):
+        topo = ring(10, (1, -1))
+        spec = CouplingSpec()
+        assert spec.v_p(topo, 9.0, 1.0) == pytest.approx(0.2)
+
+    def test_strength_scale_multiplies(self):
+        topo = ring(10, (1, -1))
+        spec = CouplingSpec(strength_scale=3.0)
+        assert spec.v_p(topo, 0.9, 0.1) == pytest.approx(6.0)
+
+    def test_zero_cycle_time_rejected(self):
+        spec = CouplingSpec()
+        with pytest.raises(ValueError, match="positive"):
+            spec.v_p(ring(4, (1, -1)), 0.0, 0.0)
+
+    def test_describe_includes_topology_info(self):
+        topo = ring(10, (1, -1))
+        d = CouplingSpec().describe(topo)
+        assert d["beta"] == 1.0
+        assert d["kappa"] == 2.0
+        assert d["beta_kappa"] == 2.0
+
+    def test_describe_without_topology(self):
+        d = CouplingSpec().describe()
+        assert "kappa" not in d
+        assert d["protocol"] == "eager"

@@ -1,0 +1,126 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator import EventEngine
+
+
+class TestScheduling:
+    def test_events_dispatch_in_time_order(self):
+        eng = EventEngine()
+        order = []
+        eng.schedule(3.0, lambda: order.append("c"))
+        eng.schedule(1.0, lambda: order.append("a"))
+        eng.schedule(2.0, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        eng = EventEngine()
+        order = []
+        for tag in ("first", "second", "third"):
+            eng.schedule(1.0, lambda t=tag: order.append(t))
+        eng.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        eng = EventEngine()
+        seen = []
+        eng.schedule(2.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [2.5]
+        assert eng.now == 2.5
+
+    def test_schedule_after(self):
+        eng = EventEngine()
+        times = []
+        eng.schedule(1.0, lambda: eng.schedule_after(0.5,
+                                                     lambda: times.append(eng.now)))
+        eng.run()
+        assert times == [1.5]
+
+    def test_scheduling_into_past_rejected(self):
+        eng = EventEngine()
+        eng.schedule(5.0, lambda: None)
+        eng.step()
+        with pytest.raises(ValueError, match="past"):
+            eng.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        eng = EventEngine()
+        with pytest.raises(ValueError, match="negative delay"):
+            eng.schedule_after(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_not_dispatched(self):
+        eng = EventEngine()
+        fired = []
+        h = eng.schedule(1.0, lambda: fired.append(1))
+        h.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_cancel_one_of_many(self):
+        eng = EventEngine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append("keep"))
+        h = eng.schedule(1.0, lambda: fired.append("drop"))
+        eng.schedule(2.0, lambda: fired.append("keep2"))
+        h.cancel()
+        eng.run()
+        assert fired == ["keep", "keep2"]
+
+
+class TestRunControls:
+    def test_run_until_stops_before_later_events(self):
+        eng = EventEngine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(5.0, lambda: fired.append(5))
+        eng.run(until=3.0)
+        assert fired == [1]
+        assert eng.n_pending >= 1
+
+    def test_run_resumes_after_until(self):
+        eng = EventEngine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(5.0, lambda: fired.append(5))
+        eng.run(until=3.0)
+        eng.run()
+        assert fired == [1, 5]
+
+    def test_max_events_guard(self):
+        eng = EventEngine()
+
+        def reschedule():
+            eng.schedule_after(1.0, reschedule)
+
+        eng.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError, match="budget"):
+            eng.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventEngine().step() is False
+
+    def test_dispatch_counter(self):
+        eng = EventEngine()
+        for k in range(5):
+            eng.schedule(float(k), lambda: None)
+        eng.run()
+        assert eng.n_dispatched == 5
+
+    def test_events_scheduled_during_dispatch(self):
+        eng = EventEngine()
+        order = []
+
+        def first():
+            order.append("first")
+            eng.schedule_after(0.0, lambda: order.append("nested"))
+
+        eng.schedule(1.0, first)
+        eng.schedule(1.0, lambda: order.append("second"))
+        eng.run()
+        # Nested zero-delay event runs after already-queued same-time ones.
+        assert order == ["first", "second", "nested"]

@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the quickstart (the one a new user
+runs first) is executed end-to-end.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_present():
+    assert EXAMPLES_DIR.is_dir()
+    assert len(ALL_EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs_end_to_end():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    assert "idle wave" in out
+    assert "synchronized" in out
+
+
+def test_cluster_scaling_runs_end_to_end():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "cluster_scaling.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "saturates" in proc.stdout

@@ -1,0 +1,76 @@
+"""Tests for the CSV artefacts the experiments write (the files a user
+plots the paper's figures from)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    kuramoto_baseline,
+    run_fig2,
+    run_panel,
+    sweep_beta_kappa,
+    sweep_sigma,
+)
+from repro.viz import read_csv
+
+
+class TestPanelOutputs:
+    @pytest.fixture(scope="class")
+    def out(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("panel")
+        run_panel("fig2b", scalable=False, distances=(1, -1), sigma=1.5,
+                  n_ranks=12, n_iterations=20, t_end=400.0, seed=0,
+                  array_elements=1e6, out_dir=d)
+        return d
+
+    def test_phase_matrix_written(self, out):
+        data = read_csv(out / "fig2b_model_phases.csv")
+        assert len(data) == 12          # one column per oscillator
+
+    def test_circle_written_on_unit_circle(self, out):
+        data = read_csv(out / "fig2b_model_circle.csv")
+        np.testing.assert_allclose(data["x"] ** 2 + data["y"] ** 2, 1.0,
+                                   atol=1e-9)
+        assert len(data["rank"]) == 12
+
+    def test_wait_matrix_written(self, out):
+        data = read_csv(out / "fig2b_trace_wait.csv")
+        assert len(data) == 12
+        # Waits are non-negative times.
+        for col in data.values():
+            assert np.all(col >= 0.0)
+
+    def test_meta_header_is_json(self, out):
+        first = (out / "fig2b_model_circle.csv").read_text().splitlines()[0]
+        meta = json.loads(first[2:])
+        assert meta["experiment"] == "FIG2B"
+
+
+class TestSummaryOutputs:
+    def test_fig2_summary_csv(self, tmp_path):
+        run_fig2(n_ranks=12, n_iterations=20, t_end=400.0, seed=0,
+                 out_dir=tmp_path)
+        data = read_csv(tmp_path / "fig2_summary.csv")
+        assert len(data["panel"]) == 4
+
+    def test_sweep_csvs(self, tmp_path):
+        sweep_beta_kappa(values=[1.0, 4.0], n_ranks=8, t_end=100.0,
+                         out_dir=tmp_path)
+        data = read_csv(tmp_path / "sweep_beta_kappa.csv")
+        np.testing.assert_allclose(data["beta_kappa"], [1.0, 4.0])
+
+        sweep_sigma(sigmas=[1.0], n_ranks=8, t_end=100.0,
+                    out_dir=tmp_path)
+        data = read_csv(tmp_path / "sweep_sigma.csv")
+        assert data["theory_gap"][0] == pytest.approx(2 / 3)
+
+    def test_kuramoto_csv(self, tmp_path):
+        kuramoto_baseline(n=8, t_end=60.0, out_dir=tmp_path)
+        path = tmp_path / "kuramoto_baseline.csv"
+        assert path.exists()
+        # Non-numeric first column: read raw text instead of read_csv.
+        text = path.read_text()
+        assert "sync_time_s" in text
+        assert "phase_slip_rhs_change" in text

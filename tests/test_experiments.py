@@ -1,0 +1,189 @@
+"""Tests for the experiment modules (paper artefact reproduction at
+test scale — the full-scale versions run in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    get_experiment,
+    kuramoto_baseline,
+    list_experiments,
+    run_fig1a,
+    run_fig1b,
+    run_panel,
+    sweep_beta_kappa,
+    sweep_sigma,
+)
+
+
+class TestFig1a:
+    def test_first_zeros_match_theory(self):
+        res = run_fig1a(sigmas=(0.5, 1.0, 2.0))
+        for s, zero in res.first_zeros.items():
+            assert zero == pytest.approx(2 * s / 3, rel=1e-6)
+
+    def test_potential_continuity(self):
+        res = run_fig1a()
+        assert res.continuity_gap < 1e-6
+
+    def test_curves_cover_figure_domain(self):
+        res = run_fig1a(span=10.0, n_points=201)
+        assert res.dtheta[0] == -10.0
+        assert res.dtheta[-1] == 10.0
+        assert res.scalable.shape == (201,)
+
+    def test_long_range_agreement(self):
+        """Both potential families are attractive (+1) at large angles."""
+        res = run_fig1a()
+        assert res.scalable[-1] == pytest.approx(1.0, abs=1e-6)
+        for curve in res.bottlenecked.values():
+            assert curve[-1] == pytest.approx(1.0)
+
+    def test_csv_output(self, tmp_path):
+        run_fig1a(out_dir=tmp_path)
+        assert (tmp_path / "fig1a_potentials.csv").exists()
+
+
+class TestFig1b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1b(array_elements=2e6, n_iterations=4)
+
+    def test_stream_saturates_at_five_cores(self, result):
+        assert result.stream.saturates
+        assert result.stream.saturation_ranks == pytest.approx(5.0,
+                                                               rel=0.15)
+
+    def test_schoenauer_saturates_later(self, result):
+        assert (result.schoenauer.saturation_ranks
+                > result.stream.saturation_ranks)
+
+    def test_pisolver_never_saturates(self, result):
+        assert not result.pisolver.saturates
+        assert max(result.pisolver.bandwidth_GBs) == 0.0
+
+    def test_triads_share_the_ceiling_order(self, result):
+        """At full socket STREAM achieves more bandwidth than the slow
+        triad (whose in-core work keeps it below the ceiling)."""
+        assert (result.stream.bandwidth_GBs[-1]
+                > result.schoenauer.bandwidth_GBs[-1])
+        assert result.stream.bandwidth_GBs[-1] == pytest.approx(68.0,
+                                                                rel=0.05)
+
+    def test_single_core_ordering(self, result):
+        """Fig. 1(b) leftmost points: STREAM > Schönauer > PISOLVER."""
+        assert (result.stream.bandwidth_GBs[0]
+                > result.schoenauer.bandwidth_GBs[0]
+                > result.pisolver.bandwidth_GBs[0])
+
+    def test_summary_rows(self, result):
+        rows = result.summary_rows()
+        assert len(rows) == 3 * 10
+        assert {r["kernel"] for r in rows} == {
+            "stream_triad", "schoenauer_triad", "pisolver"}
+
+    def test_csv_output(self, tmp_path):
+        run_fig1b(array_elements=1e6, n_iterations=2, out_dir=tmp_path)
+        for name in ("stream_triad", "schoenauer_triad", "pisolver"):
+            assert (tmp_path / f"fig1b_{name}.csv").exists()
+
+
+class TestFig2Panels:
+    """Single panels at reduced scale (full 4-panel in benchmarks)."""
+
+    def test_scalable_panel_resynchronizes(self):
+        p = run_panel("mini2a", scalable=True, distances=(1, -1),
+                      n_ranks=16, n_iterations=30, t_end=1500.0, seed=0)
+        assert p.model_verdict.is_synchronized
+        assert not p.trace_desync.is_desynchronized
+        assert p.agrees_with_paper
+
+    def test_bottleneck_panel_desynchronizes(self):
+        p = run_panel("mini2b", scalable=False, distances=(1, -1),
+                      sigma=1.5, n_ranks=16, n_iterations=30,
+                      t_end=800.0, seed=0, array_elements=2e6)
+        assert p.model_verdict.is_desynchronized
+        assert p.model_gap == pytest.approx(1.0, rel=0.1)  # 2*sigma/3
+        assert p.trace_desync.is_desynchronized
+        assert p.agrees_with_paper
+
+    def test_bottleneck_panel_requires_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            run_panel("bad", scalable=False, distances=(1, -1))
+
+    def test_wave_measured_on_both_sides(self):
+        p = run_panel("mini2c", scalable=True, distances=(1, -1, -2),
+                      n_ranks=16, n_iterations=30, t_end=1000.0, seed=0)
+        assert np.isfinite(p.model_wave.speed)
+        assert p.trace_wave.speed_ranks_per_iteration > 1.0  # faster than d=±1
+
+
+class TestSweeps:
+    def test_beta_kappa_monotonicity(self):
+        """Sec. 5.1.1: wave speed grows with beta*kappa; resync
+        accelerates."""
+        res = sweep_beta_kappa(values=[0.5, 2.0, 8.0], n_ranks=12,
+                               t_end=400.0)
+        speeds = res.wave_speed
+        assert np.all(np.isfinite(speeds))
+        assert speeds[0] < speeds[1] < speeds[2]
+        finite = np.isfinite(res.resync_time)
+        assert np.all(np.diff(res.resync_time[finite]) <= 0)
+
+    def test_beta_kappa_zero_means_free_processes(self):
+        res = sweep_beta_kappa(values=[0.0], n_ranks=8, t_end=100.0)
+        # No coupling: the wave never propagates, resync never happens.
+        assert np.isnan(res.wave_speed[0]) or res.wave_speed[0] == 0.0
+        assert np.isinf(res.resync_time[0])
+
+    def test_sigma_gap_law(self):
+        """Sec. 5.2.2: asymptotic |gap| = 2*sigma/3."""
+        res = sweep_sigma(sigmas=[0.5, 1.0], n_ranks=12, t_end=300.0)
+        np.testing.assert_allclose(res.mean_abs_gap, res.theory_gap,
+                                   rtol=0.1)
+
+    def test_sigma_spread_correlation(self):
+        """Larger sigma => larger asymptotic phase spread."""
+        res = sweep_sigma(sigmas=[0.5, 1.5], n_ranks=12, t_end=300.0)
+        assert res.phase_spread[1] > res.phase_spread[0]
+
+
+class TestKuramotoBaseline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return kuramoto_baseline(n=12, t_end=150.0)
+
+    def test_km_synchronizes_like_a_barrier(self, result):
+        """All-to-all Kuramoto syncs much faster than the sparse POM."""
+        assert result.km_sync_time < result.pom_sync_time
+
+    def test_km_cannot_hold_desync(self, result):
+        """From the zigzag wavefront the KM collapses towards synchrony
+        while the bottleneck POM holds the 2*sigma/3 gaps."""
+        assert result.pom_final_gap == pytest.approx(1.0, rel=0.15)
+        assert result.km_final_gap < 0.5 * result.pom_final_gap
+
+    def test_phase_slip_distinction(self, result):
+        assert result.km_phase_slip_invariance == pytest.approx(0.0,
+                                                                abs=1e-9)
+        assert result.pom_phase_slip_invariance > 0.01
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        names = {name for name, _ in list_experiments()}
+        assert names == {"fig1a", "fig1b", "fig2", "beta-kappa", "sigma",
+                         "kuramoto", "supermuc"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("FIG1A").id == "FIG1A"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_registry_ids_match_design_doc(self):
+        ids = {e.id for e in REGISTRY.values()}
+        assert ids == {"FIG1A", "FIG1B", "FIG2", "CLAIM-BK", "CLAIM-SIGMA",
+                       "CLAIM-KM", "SUPERMUC"}

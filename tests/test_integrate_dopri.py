@@ -1,0 +1,184 @@
+"""Tests for the from-scratch Dormand-Prince 5(4) solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.integrate import solve_ivp
+
+from repro.integrate import solve_dopri45
+from repro.integrate.dopri import DOPRI_A, DOPRI_B4, DOPRI_B5, DOPRI_C
+
+
+class TestButcherTableau:
+    def test_c_matches_row_sums(self):
+        # Consistency condition: c_i = sum_j a_ij.
+        np.testing.assert_allclose(DOPRI_A.sum(axis=1), DOPRI_C, atol=1e-14)
+
+    def test_b5_order_conditions(self):
+        # 5th-order weights: sum b = 1, sum b*c = 1/2, sum b*c^2 = 1/3.
+        assert abs(DOPRI_B5.sum() - 1.0) < 1e-14
+        assert abs(DOPRI_B5 @ DOPRI_C - 0.5) < 1e-14
+        assert abs(DOPRI_B5 @ DOPRI_C**2 - 1.0 / 3.0) < 1e-14
+        assert abs(DOPRI_B5 @ DOPRI_C**3 - 0.25) < 1e-14
+        assert abs(DOPRI_B5 @ DOPRI_C**4 - 0.2) < 1e-14
+
+    def test_b4_order_conditions(self):
+        # Embedded 4th-order weights satisfy up to c^3.
+        assert abs(DOPRI_B4.sum() - 1.0) < 1e-14
+        assert abs(DOPRI_B4 @ DOPRI_C - 0.5) < 1e-14
+        assert abs(DOPRI_B4 @ DOPRI_C**2 - 1.0 / 3.0) < 1e-14
+        assert abs(DOPRI_B4 @ DOPRI_C**3 - 0.25) < 1e-14
+
+    def test_fsal_property(self):
+        # Last stage of A equals B5 (first-same-as-last).
+        np.testing.assert_allclose(DOPRI_A[6, :6], DOPRI_B5[:6], atol=1e-15)
+
+
+class TestExponentialDecay:
+    def test_matches_exact_solution(self):
+        sol = solve_dopri45(lambda t, y: -y, (0.0, 5.0), [1.0],
+                            rtol=1e-8, atol=1e-10)
+        assert sol.success
+        np.testing.assert_allclose(sol.y_end[0], np.exp(-5.0), rtol=1e-6)
+
+    def test_tolerance_controls_error(self):
+        errs = []
+        for rtol in (1e-4, 1e-7):
+            sol = solve_dopri45(lambda t, y: -y, (0.0, 5.0), [1.0],
+                                rtol=rtol, atol=1e-12)
+            errs.append(abs(sol.y_end[0] - np.exp(-5.0)))
+        assert errs[1] < errs[0] / 10.0
+
+    def test_fewer_steps_at_looser_tolerance(self):
+        loose = solve_dopri45(lambda t, y: -y, (0.0, 5.0), [1.0], rtol=1e-3)
+        tight = solve_dopri45(lambda t, y: -y, (0.0, 5.0), [1.0], rtol=1e-10)
+        assert loose.stats.n_steps < tight.stats.n_steps
+
+
+class TestHarmonicOscillator:
+    def rhs(self, t, y):
+        return np.array([y[1], -y[0]])
+
+    def test_period_and_energy(self):
+        sol = solve_dopri45(self.rhs, (0.0, 2 * np.pi), [1.0, 0.0],
+                            rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(sol.y_end, [1.0, 0.0], atol=1e-6)
+
+    def test_against_scipy(self):
+        sol = solve_dopri45(self.rhs, (0.0, 10.0), [1.0, 0.0],
+                            rtol=1e-8, atol=1e-10)
+        ref = solve_ivp(self.rhs, (0.0, 10.0), [1.0, 0.0], method="RK45",
+                        rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(sol.y_end, ref.y[:, -1], atol=1e-6)
+
+    def test_dense_output_accuracy(self):
+        sol = solve_dopri45(self.rhs, (0.0, 10.0), [1.0, 0.0],
+                            rtol=1e-8, atol=1e-10)
+        ts = np.linspace(0.0, 10.0, 197)
+        ys = sol(ts)
+        np.testing.assert_allclose(ys[:, 0], np.cos(ts), atol=1e-5)
+        np.testing.assert_allclose(ys[:, 1], -np.sin(ts), atol=1e-5)
+
+    def test_dense_output_matches_mesh_points(self):
+        sol = solve_dopri45(self.rhs, (0.0, 5.0), [1.0, 0.0], rtol=1e-7)
+        ys = sol(sol.ts)
+        np.testing.assert_allclose(ys, sol.ys, atol=1e-9)
+
+
+class TestAPIBehaviour:
+    def test_rejects_reversed_time(self):
+        with pytest.raises(ValueError, match="t_end > t0"):
+            solve_dopri45(lambda t, y: -y, (5.0, 0.0), [1.0])
+
+    def test_rejects_2d_initial_state(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            solve_dopri45(lambda t, y: -y, (0.0, 1.0), [[1.0, 2.0]])
+
+    def test_rejects_bad_rhs_shape(self):
+        with pytest.raises(ValueError, match="RHS returned shape"):
+            solve_dopri45(lambda t, y: np.zeros(3), (0.0, 1.0), [1.0, 2.0])
+
+    def test_max_steps_reports_failure(self):
+        sol = solve_dopri45(lambda t, y: -y, (0.0, 100.0), [1.0],
+                            max_steps=3)
+        assert not sol.success
+        assert "max_steps" in sol.message
+
+    def test_max_step_is_respected(self):
+        sol = solve_dopri45(lambda t, y: -y, (0.0, 2.0), [1.0],
+                            max_step=0.05)
+        assert np.max(np.diff(sol.ts)) <= 0.05 + 1e-12
+
+    def test_t_eval_returns_requested_mesh(self):
+        t_eval = np.linspace(0.0, 2.0, 17)
+        sol = solve_dopri45(lambda t, y: -y, (0.0, 2.0), [1.0],
+                            t_eval=t_eval)
+        np.testing.assert_allclose(sol.ts, t_eval)
+        np.testing.assert_allclose(sol.ys[:, 0], np.exp(-t_eval), rtol=1e-5)
+
+    def test_first_step_accepted(self):
+        sol = solve_dopri45(lambda t, y: -y, (0.0, 1.0), [1.0],
+                            first_step=0.01)
+        assert sol.success
+        assert abs((sol.ts[1] - sol.ts[0]) - 0.01) < 1e-12
+
+    def test_step_callback_sees_every_accepted_step(self):
+        seen = []
+        sol = solve_dopri45(lambda t, y: -y, (0.0, 1.0), [1.0],
+                            step_callback=lambda t, y: seen.append(t))
+        assert len(seen) == sol.stats.n_steps
+        np.testing.assert_allclose(seen, sol.ts[1:])
+
+    def test_stats_counters_consistent(self):
+        sol = solve_dopri45(lambda t, y: np.array([np.sin(50 * t) * y[0]]),
+                            (0.0, 3.0), [1.0], rtol=1e-8)
+        assert sol.stats.n_rhs >= 6 * sol.stats.n_steps
+        assert sol.stats.n_steps == len(sol.ts) - 1
+
+
+class TestStiffishProblem:
+    def test_moderate_stiffness_still_converges(self):
+        # lambda = -200: explicit method must shrink steps but succeed.
+        sol = solve_dopri45(lambda t, y: -200.0 * (y - np.cos(t)),
+                            (0.0, 1.0), [0.0], rtol=1e-6, atol=1e-9)
+        assert sol.success
+        # Reference from scipy at tight tolerance.
+        ref = solve_ivp(lambda t, y: -200.0 * (y - np.cos(t)), (0.0, 1.0),
+                        [0.0], method="RK45", rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(sol.y_end, ref.y[:, -1], atol=1e-4)
+
+    def test_discontinuous_rhs_is_integrated(self):
+        # Piecewise-constant forcing (like the noise processes).
+        def f(t, y):
+            return np.array([1.0 if t < 0.5 else -1.0])
+
+        sol = solve_dopri45(f, (0.0, 1.0), [0.0], rtol=1e-8, max_step=0.01)
+        assert sol.success
+        np.testing.assert_allclose(sol.y_end[0], 0.0, atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lam=st.floats(min_value=-3.0, max_value=-0.1),
+    y0=st.floats(min_value=-10.0, max_value=10.0),
+    t_end=st.floats(min_value=0.1, max_value=5.0),
+)
+def test_property_linear_decay_exact(lam, y0, t_end):
+    """For dy/dt = lam*y the solver must match exp(lam*t)*y0."""
+    sol = solve_dopri45(lambda t, y: lam * y, (0.0, t_end), [y0],
+                        rtol=1e-8, atol=1e-11)
+    assert sol.success
+    expected = y0 * np.exp(lam * t_end)
+    np.testing.assert_allclose(sol.y_end[0], expected,
+                               rtol=1e-5, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(t_query=st.floats(min_value=0.0, max_value=4.0))
+def test_property_dense_output_between_points(t_query):
+    """Dense output stays within solver accuracy anywhere inside."""
+    sol = solve_dopri45(lambda t, y: np.array([np.cos(t)]), (0.0, 4.0),
+                        [0.0], rtol=1e-9, atol=1e-12)
+    val = sol(t_query)
+    np.testing.assert_allclose(val[0], np.sin(t_query), atol=1e-6)

@@ -1,0 +1,199 @@
+"""Tests for Solution, the step controller, and the history buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integrate import (
+    HistoryBuffer,
+    Solution,
+    SolverStats,
+    StepController,
+    error_norm,
+)
+
+
+class TestSolution:
+    def make(self):
+        ts = np.linspace(0.0, 1.0, 11)
+        ys = np.stack([ts, ts**2], axis=1)
+        return Solution(ts=ts, ys=ys)
+
+    def test_basic_accessors(self):
+        sol = self.make()
+        assert sol.t0 == 0.0
+        assert sol.t_end == 1.0
+        assert sol.n_dim == 2
+        assert len(sol) == 11
+        np.testing.assert_allclose(sol.y_end, [1.0, 1.0])
+
+    def test_1d_ys_promoted_to_column(self):
+        sol = Solution(ts=[0.0, 1.0], ys=[1.0, 2.0])
+        assert sol.ys.shape == (2, 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            Solution(ts=[0.0, 1.0], ys=np.zeros((3, 2)))
+
+    def test_linear_interpolation_fallback(self):
+        sol = self.make()
+        val = sol(0.55)
+        assert val[0] == pytest.approx(0.55, abs=1e-12)
+        # t^2 interpolated linearly between 0.5^2 and 0.6^2.
+        assert val[1] == pytest.approx((0.25 + 0.36) / 2, abs=1e-12)
+
+    def test_vector_evaluation_shape(self):
+        sol = self.make()
+        out = sol(np.array([0.1, 0.2, 0.9]))
+        assert out.shape == (3, 2)
+
+    def test_out_of_range_rejected(self):
+        sol = self.make()
+        with pytest.raises(ValueError, match="outside"):
+            sol(1.5)
+
+    def test_resample_uniform(self):
+        sol = self.make()
+        r = sol.resample(5)
+        assert len(r) == 5
+        np.testing.assert_allclose(r.ts, np.linspace(0, 1, 5))
+
+    def test_resample_needs_two_points(self):
+        with pytest.raises(ValueError, match="two points"):
+            self.make().resample(1)
+
+    def test_stats_merge(self):
+        a = SolverStats(n_rhs=5, n_steps=2, n_rejected=1)
+        b = SolverStats(n_rhs=3, n_steps=1, n_rejected=0)
+        c = a.merge(b)
+        assert (c.n_rhs, c.n_steps, c.n_rejected) == (8, 3, 1)
+
+
+class TestErrorNorm:
+    def test_zero_error_is_zero(self):
+        y = np.ones(4)
+        assert error_norm(np.zeros(4), y, y, 1e-6, 1e-9) == 0.0
+
+    def test_norm_scales_with_tolerance(self):
+        err = np.full(3, 1e-6)
+        y = np.ones(3)
+        loose = error_norm(err, y, y, rtol=1e-3, atol=1e-6)
+        tight = error_norm(err, y, y, rtol=1e-6, atol=1e-9)
+        assert tight > loose
+
+    def test_unit_norm_at_exact_tolerance(self):
+        # err == atol with y = 0 gives norm exactly 1.
+        err = np.full(5, 1e-9)
+        y = np.zeros(5)
+        assert error_norm(err, y, y, rtol=1e-6, atol=1e-9) == pytest.approx(1.0)
+
+
+class TestStepController:
+    def test_grows_step_on_small_error(self):
+        c = StepController(order=5)
+        assert c.propose(0.1, err=1e-4, accepted=True) > 0.1
+
+    def test_shrinks_step_on_large_error(self):
+        c = StepController(order=5)
+        assert c.propose(0.1, err=10.0, accepted=False) < 0.1
+
+    def test_never_grows_after_rejection(self):
+        c = StepController(order=5)
+        assert c.propose(0.1, err=0.5, accepted=False) <= 0.1
+
+    def test_growth_clamped_at_f_max(self):
+        c = StepController(order=5, f_max=5.0)
+        assert c.propose(1.0, err=1e-12, accepted=True) <= 5.0
+
+    def test_shrink_clamped_at_f_min(self):
+        c = StepController(order=5, f_min=0.2)
+        assert c.propose(1.0, err=1e9, accepted=False) >= 0.2
+
+    def test_perfect_step_grows_max(self):
+        c = StepController(order=5, f_max=5.0)
+        assert c.propose(1.0, err=0.0, accepted=True) == pytest.approx(5.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StepController(order=0)
+        with pytest.raises(ValueError):
+            StepController(safety=1.5)
+        with pytest.raises(ValueError):
+            StepController(f_min=1.0, f_max=0.5)
+
+    def test_reset_clears_memory(self):
+        c = StepController(order=5)
+        c.propose(1.0, err=0.5, accepted=True)
+        c.reset()
+        assert c._err_prev == 1.0
+
+
+class TestHistoryBuffer:
+    def test_initial_state_returned_before_t0(self):
+        buf = HistoryBuffer(0.0, np.array([1.0, 2.0]))
+        np.testing.assert_allclose(buf(-5.0), [1.0, 2.0])
+
+    def test_custom_prehistory(self):
+        buf = HistoryBuffer(0.0, np.array([0.0]),
+                            prehistory=lambda t: np.array([t]))
+        np.testing.assert_allclose(buf(-2.0), [-2.0])
+
+    def test_linear_interpolation_without_derivatives(self):
+        buf = HistoryBuffer(0.0, np.array([0.0]))
+        buf.append(1.0, np.array([2.0]))
+        np.testing.assert_allclose(buf(0.5), [1.0])
+
+    def test_hermite_interpolation_matches_cubic(self):
+        # y(t) = t^3 has derivative 3t^2; Hermite is exact for cubics.
+        buf = HistoryBuffer(0.0, np.array([0.0]))
+        buf._fs[0] = np.array([0.0])  # derivative at t0
+        buf.append(1.0, np.array([1.0]), f=np.array([3.0]))
+        buf.append(2.0, np.array([8.0]), f=np.array([12.0]))
+        for t in (1.25, 1.5, 1.75):
+            np.testing.assert_allclose(buf(t), [t**3], atol=1e-12)
+
+    def test_clamps_beyond_latest(self):
+        buf = HistoryBuffer(0.0, np.array([1.0]))
+        buf.append(1.0, np.array([5.0]))
+        np.testing.assert_allclose(buf(99.0), [5.0])
+
+    def test_rejects_decreasing_time(self):
+        buf = HistoryBuffer(0.0, np.array([1.0]))
+        buf.append(1.0, np.array([2.0]))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            buf.append(0.5, np.array([3.0]))
+
+    def test_max_points_evicts_oldest(self):
+        buf = HistoryBuffer(0.0, np.array([0.0]), max_points=3)
+        for k in range(1, 6):
+            buf.append(float(k), np.array([float(k)]))
+        assert len(buf) == 3
+        assert buf.t_latest == 5.0
+
+    def test_evaluate_many_shape(self):
+        buf = HistoryBuffer(0.0, np.array([0.0, 1.0]))
+        buf.append(1.0, np.array([1.0, 2.0]))
+        out = buf.evaluate_many(np.array([0.0, 0.5, 1.0]))
+        assert out.shape == (3, 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t_points=st.lists(st.floats(min_value=0.01, max_value=1.0),
+                      min_size=1, max_size=8),
+    query=st.floats(min_value=-1.0, max_value=5.0),
+)
+def test_property_history_exact_for_linear_signal(t_points, query):
+    """Hermite interpolation (and the beyond-latest linear
+    extrapolation) reproduce a linear-in-time signal exactly inside the
+    record, and extrapolate it exactly beyond."""
+    buf = HistoryBuffer(0.0, np.array([0.0]))
+    buf._fs[0] = np.array([1.0])
+    t = 0.0
+    for dt in t_points:
+        t += dt
+        buf.append(t, np.array([t]), f=np.array([1.0]))
+    val = float(buf(query)[0])
+    expected = max(query, 0.0)   # pre-history is the frozen y0 = 0
+    assert val == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,158 @@
+"""Tests for the machine spec, rank placement, and kernel time models."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    MachineSpec,
+    PiSolverKernel,
+    SchoenauerTriadKernel,
+    StreamTriadKernel,
+    kernel_from_name,
+)
+from repro.simulator.kernels import Kernel
+
+
+class TestMachineSpec:
+    def test_meggie_parameters(self):
+        m = MachineSpec.meggie()
+        assert m.cores_per_socket == 10
+        assert m.socket_bandwidth == pytest.approx(68e9)
+        assert m.sockets_per_node == 2
+
+    def test_supermuc_parameters(self):
+        m = MachineSpec.supermuc_ng()
+        assert m.cores_per_socket == 24
+        assert m.socket_bandwidth == pytest.approx(105e9)
+
+    def test_totals(self):
+        m = MachineSpec(nodes=3, sockets_per_node=2, cores_per_socket=10)
+        assert m.total_sockets == 6
+        assert m.total_cores == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(nodes=0)
+        with pytest.raises(ValueError):
+            MachineSpec(core_bandwidth=100e9, socket_bandwidth=50e9)
+        with pytest.raises(ValueError):
+            MachineSpec(network_bandwidth=-1.0)
+
+
+class TestPlacement:
+    def test_block_fills_sockets_in_order(self):
+        m = MachineSpec(nodes=2)   # 4 Meggie-like sockets
+        p = m.place_ranks(25, strategy="block")
+        assert [x.socket for x in p[:10]] == [0] * 10
+        assert [x.socket for x in p[10:20]] == [1] * 10
+        assert [x.socket for x in p[20:]] == [2] * 5
+
+    def test_block_node_assignment(self):
+        m = MachineSpec(nodes=2)
+        p = m.place_ranks(25, strategy="block")
+        assert p[0].node == 0
+        assert p[19].node == 0     # socket 1 is still node 0
+        assert p[20].node == 1     # socket 2 is node 1
+
+    def test_round_robin_scatters(self):
+        m = MachineSpec(nodes=1, sockets_per_node=2, cores_per_socket=4)
+        p = m.place_ranks(4, strategy="round_robin")
+        assert [x.socket for x in p] == [0, 1, 0, 1]
+
+    def test_ranks_per_socket_restriction(self):
+        m = MachineSpec.meggie()
+        p = m.place_ranks(6, ranks_per_socket=3)
+        assert [x.socket for x in p] == [0, 0, 0, 1, 1, 1]
+
+    def test_capacity_exceeded(self):
+        m = MachineSpec(nodes=1, sockets_per_node=1, cores_per_socket=4)
+        with pytest.raises(ValueError, match="exceed capacity"):
+            m.place_ranks(5)
+
+    def test_ranks_per_socket_above_cores_rejected(self):
+        m = MachineSpec.meggie()
+        with pytest.raises(ValueError, match="exceeds cores_per_socket"):
+            m.place_ranks(4, ranks_per_socket=99)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            MachineSpec.meggie().place_ranks(4, strategy="random")
+
+
+class TestKernelModels:
+    def test_stream_traffic_is_32_bytes_per_element(self):
+        k = StreamTriadKernel(array_elements=1e6)
+        assert k.traffic_bytes == pytest.approx(32e6)
+
+    def test_schoenauer_traffic_is_40_bytes_per_element(self):
+        k = SchoenauerTriadKernel(array_elements=1e6)
+        assert k.traffic_bytes == pytest.approx(40e6)
+
+    def test_pisolver_has_no_traffic(self):
+        k = PiSolverKernel()
+        assert k.traffic_bytes == 0.0
+        assert not k.is_memory_bound
+
+    def test_stream_is_memory_bound(self):
+        assert StreamTriadKernel(1e6).is_memory_bound
+
+    def test_single_core_time_composition(self):
+        m = MachineSpec.meggie()
+        k = Kernel(name="x", core_time=1e-3, traffic_bytes=14e6)
+        # 14 MB at 14 GB/s = 1 ms; total = 2 ms.
+        assert k.single_core_time(m) == pytest.approx(2e-3)
+
+    def test_contended_time_grows_with_occupancy(self):
+        m = MachineSpec.meggie()
+        k = StreamTriadKernel(1e6)
+        t1 = k.contended_time(m, 1)
+        t10 = k.contended_time(m, 10)
+        assert t10 > t1
+        # At 10 ranks each gets 6.8 GB/s.
+        expected = k.core_time + k.traffic_bytes / 6.8e9
+        assert t10 == pytest.approx(expected)
+
+    def test_saturation_point_ordering(self):
+        """The paper's Fig. 1(b): STREAM saturates earliest, the slow
+        Schönauer triad later, PISOLVER never."""
+        m = MachineSpec.meggie()
+        s_stream = StreamTriadKernel(4e6).saturation_cores(m)
+        s_schoen = SchoenauerTriadKernel(4e6).saturation_cores(m)
+        s_pi = PiSolverKernel().saturation_cores(m)
+        assert s_stream < s_schoen < s_pi
+        assert s_stream == pytest.approx(5.0, rel=0.15)
+        assert np.isinf(s_pi)
+
+    def test_demanded_bandwidth(self):
+        m = MachineSpec.meggie()
+        k = StreamTriadKernel(1e6)
+        demand = k.demanded_bandwidth(m)
+        assert demand <= m.core_bandwidth + 1e-6
+        assert demand > 0.9 * m.core_bandwidth  # stream is traffic-dominated
+
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            Kernel(name="bad", core_time=-1.0, traffic_bytes=0.0)
+        with pytest.raises(ValueError):
+            Kernel(name="empty", core_time=0.0, traffic_bytes=0.0)
+
+    def test_contended_time_validation(self):
+        with pytest.raises(ValueError):
+            StreamTriadKernel(1e6).contended_time(MachineSpec.meggie(), 0)
+
+
+class TestKernelFactory:
+    @pytest.mark.parametrize("name,expected", [
+        ("pisolver", "pisolver"),
+        ("pi", "pisolver"),
+        ("stream", "stream_triad"),
+        ("triad", "stream_triad"),
+        ("schoenauer", "schoenauer_triad"),
+        ("slow", "schoenauer_triad"),
+    ])
+    def test_names(self, name, expected):
+        assert kernel_from_name(name).name == expected
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernel_from_name("dgemm")

@@ -1,0 +1,177 @@
+"""Tests for the fair-share memory-bandwidth arbiter."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import EventEngine, MemoryArbiter
+
+
+def make(socket_bw=40e9, core_bw=10e9):
+    eng = EventEngine()
+    arb = MemoryArbiter(eng, socket_bw, core_bw)
+    return eng, arb
+
+
+class TestSingleStream:
+    def test_duration_at_core_bandwidth(self):
+        eng, arb = make()
+        done = []
+        arb.start_stream(0, 10e9, lambda: done.append(eng.now))
+        eng.run()
+        # 10 GB at 10 GB/s core ceiling = 1 s.
+        assert done == [pytest.approx(1.0)]
+
+    def test_zero_byte_stream_completes_immediately(self):
+        eng, arb = make()
+        done = []
+        arb.start_stream(0, 0.0, lambda: done.append(eng.now))
+        eng.run()
+        assert done == [pytest.approx(0.0)]
+
+    def test_rate_reporting(self):
+        eng, arb = make()
+        arb.start_stream(0, 1e9, lambda: None)
+        assert arb.current_rate() == pytest.approx(10e9)
+        assert arb.n_active == 1
+
+    def test_idle_rate_is_zero(self):
+        _, arb = make()
+        assert arb.current_rate() == 0.0
+
+
+class TestFairSharing:
+    def test_four_streams_share_ceiling(self):
+        eng, arb = make()
+        done = {}
+        for r in range(4):
+            arb.start_stream(r, 10e9, lambda r=r: done.setdefault(r, eng.now))
+        eng.run()
+        # 4 streams on 40 GB/s => 10 GB/s each => all finish at 1 s.
+        for r in range(4):
+            assert done[r] == pytest.approx(1.0)
+
+    def test_eight_streams_take_twice_as_long(self):
+        eng, arb = make()
+        done = {}
+        for r in range(8):
+            arb.start_stream(r, 10e9, lambda r=r: done.setdefault(r, eng.now))
+        eng.run()
+        # 8 streams on 40 GB/s => 5 GB/s each => 2 s.
+        for r in range(8):
+            assert done[r] == pytest.approx(2.0)
+
+    def test_two_streams_below_saturation_uncontended(self):
+        eng, arb = make()
+        done = {}
+        for r in range(2):
+            arb.start_stream(r, 10e9, lambda r=r: done.setdefault(r, eng.now))
+        eng.run()
+        # 2 x 10 GB/s = 20 < 40 GB/s ceiling: core bandwidth applies.
+        for r in range(2):
+            assert done[r] == pytest.approx(1.0)
+
+    def test_late_joiner_slows_everyone(self):
+        eng, arb = make()
+        done = {}
+        for r in range(4):
+            arb.start_stream(r, 10e9, lambda r=r: done.setdefault(r, eng.now))
+        # After 0.5 s a fifth stream joins.
+        eng.schedule(0.5, lambda: arb.start_stream(
+            9, 8e9, lambda: done.setdefault(9, eng.now)))
+        eng.run()
+        # First 0.5 s: 4 streams at 10 GB/s leave 5 GB each remaining.
+        # Then 5 streams at 8 GB/s: 5 GB needs 0.625 s => finish 1.125 s.
+        for r in range(4):
+            assert done[r] == pytest.approx(1.125)
+        # The joiner then finishes alone-ish: 8 GB total, 5 GB served by
+        # 1.125 s (0.625 s at 8 GB/s), remaining 3 GB at core 10 GB/s.
+        assert done[9] == pytest.approx(1.125 + 3.0 / 10.0)
+
+    def test_early_finisher_speeds_up_rest(self):
+        eng, arb = make()
+        done = {}
+        arb.start_stream(0, 2e9, lambda: done.setdefault(0, eng.now))
+        for r in (1, 2, 3, 4):
+            arb.start_stream(r, 8e9, lambda r=r: done.setdefault(r, eng.now))
+        eng.run()
+        # 5 streams at 8 GB/s each: stream 0 done at 0.25 s.
+        assert done[0] == pytest.approx(0.25)
+        # Remaining 4: 6 GB left each at 10 GB/s cap => done 0.85 s.
+        for r in (1, 2, 3, 4):
+            assert done[r] == pytest.approx(0.25 + 6.0 / 10.0)
+
+
+class TestBookkeeping:
+    def test_conservation_of_bytes(self):
+        eng, arb = make()
+        total = 0.0
+        for r in range(5):
+            nbytes = (r + 1) * 1e9
+            total += nbytes
+            arb.start_stream(r, nbytes, lambda: None)
+        eng.run()
+        assert arb.stats.bytes_transferred == pytest.approx(total, rel=1e-9)
+
+    def test_busy_time_and_concurrency(self):
+        eng, arb = make()
+        for r in range(4):
+            arb.start_stream(r, 10e9, lambda: None)
+        eng.run()
+        assert arb.stats.busy_time == pytest.approx(1.0)
+        assert arb.stats.mean_concurrency() == pytest.approx(4.0)
+
+    def test_average_bandwidth(self):
+        eng, arb = make()
+        for r in range(4):
+            arb.start_stream(r, 10e9, lambda: None)
+        eng.run()
+        assert arb.stats.average_bandwidth(1.0) == pytest.approx(40e9)
+
+    def test_duplicate_stream_rejected(self):
+        eng, arb = make()
+        arb.start_stream(0, 1e9, lambda: None)
+        with pytest.raises(RuntimeError, match="already"):
+            arb.start_stream(0, 1e9, lambda: None)
+
+    def test_cancel_returns_unserved_bytes(self):
+        eng, arb = make()
+        arb.start_stream(0, 10e9, lambda: None)
+        eng.schedule(0.5, lambda: None)
+        eng.run(until=0.5)
+        left = arb.cancel_stream(0)
+        assert left == pytest.approx(5e9, rel=1e-9)
+        assert arb.n_active == 0
+
+    def test_cancel_unknown_stream_returns_zero(self):
+        _, arb = make()
+        assert arb.cancel_stream(7) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        eng, arb = make()
+        with pytest.raises(ValueError):
+            arb.start_stream(0, -1.0, lambda: None)
+
+    def test_invalid_bandwidths_rejected(self):
+        eng = EventEngine()
+        with pytest.raises(ValueError):
+            MemoryArbiter(eng, 0.0, 1.0)
+
+
+class TestChainedStreams:
+    def test_callback_can_start_next_stream(self):
+        """Completion callbacks starting new streams (the DES pattern:
+        compute -> next iteration) must not corrupt accounting."""
+        eng, arb = make()
+        finish_times = []
+
+        def start_round(r, rounds_left):
+            def on_done():
+                finish_times.append(eng.now)
+                if rounds_left > 0:
+                    start_round(r, rounds_left - 1)
+            arb.start_stream(r, 10e9, on_done)
+
+        start_round(0, 2)   # 3 streams of 1 s each, back to back
+        eng.run()
+        np.testing.assert_allclose(finish_times, [1.0, 2.0, 3.0], rtol=1e-9)
+        assert arb.stats.bytes_transferred == pytest.approx(30e9, rel=1e-9)

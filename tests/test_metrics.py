@@ -1,0 +1,298 @@
+"""Tests for the metrics package (order parameter, phase, sync, wave)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    SyncState,
+    adjacent_gaps,
+    arrival_times,
+    classify,
+    comoving,
+    fixed_point_residual,
+    gap_statistics,
+    lagger_baseline,
+    mean_phase,
+    measure_wave_speed,
+    order_parameter,
+    order_parameter_series,
+    paired_wave_decay,
+    phase_spread,
+    phase_spread_series,
+    settle_time,
+    splay_order_parameter,
+    wave_decay,
+)
+
+
+class TestOrderParameter:
+    def test_synchronized_is_one(self):
+        assert order_parameter(np.full(10, 1.234)) == pytest.approx(1.0)
+
+    def test_antipodal_pair_is_zero(self):
+        assert order_parameter(np.array([0.0, np.pi])) == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_uniform_splay_is_zero(self):
+        n = 8
+        theta = 2 * np.pi * np.arange(n) / n
+        assert order_parameter(theta) == pytest.approx(0.0, abs=1e-12)
+
+    def test_series_shape(self):
+        thetas = np.zeros((7, 5))
+        assert order_parameter_series(thetas).shape == (7,)
+
+    def test_mean_phase_of_cluster(self):
+        theta = np.array([0.5, 0.5, 0.5])
+        assert mean_phase(theta) == pytest.approx(0.5)
+
+    def test_splay_formula_matches_direct(self):
+        n, gap = 12, 0.37
+        theta = np.arange(n) * gap
+        direct = order_parameter(theta)
+        formula = splay_order_parameter(n, gap)
+        assert formula == pytest.approx(direct, abs=1e-12)
+
+    def test_splay_formula_limits(self):
+        assert splay_order_parameter(5, 0.0) == 1.0
+        assert splay_order_parameter(8, 2 * np.pi / 8) == pytest.approx(
+            0.0, abs=1e-12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            order_parameter(np.array([]))
+
+
+class TestPhaseMetrics:
+    def test_spread(self):
+        assert phase_spread(np.array([0.0, 1.0, 0.2])) == pytest.approx(1.0)
+
+    def test_spread_series(self):
+        thetas = np.array([[0.0, 1.0], [0.0, 3.0]])
+        np.testing.assert_allclose(phase_spread_series(thetas), [1.0, 3.0])
+
+    def test_adjacent_gaps_periodic(self):
+        theta = np.array([0.0, 0.5, 1.0])
+        gaps = adjacent_gaps(theta, periodic=True)
+        np.testing.assert_allclose(gaps, [0.5, 0.5, -1.0])
+        assert gaps.sum() == pytest.approx(0.0)
+
+    def test_adjacent_gaps_open(self):
+        theta = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(adjacent_gaps(theta, periodic=False),
+                                   [0.5, 0.5])
+
+    def test_gap_statistics_tail(self):
+        # Constant gaps of 0.3 in the final window.
+        ts = np.linspace(0, 1, 20)
+        thetas = np.arange(4)[None, :] * 0.3 + ts[:, None] * 0.0
+        stats = gap_statistics(thetas, periodic=False)
+        assert stats["mean"] == pytest.approx(0.3)
+        assert stats["std"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_comoving_and_lagger(self):
+        ts = np.linspace(0, 2, 9)
+        omega = 3.0
+        thetas = omega * ts[:, None] + np.array([0.0, 0.5])[None, :]
+        x = comoving(ts, thetas, omega)
+        np.testing.assert_allclose(x[:, 1] - x[:, 0], 0.5)
+        lag = lagger_baseline(ts, thetas, omega)
+        np.testing.assert_allclose(lag[:, 0], 0.0, atol=1e-12)
+
+
+class TestClassify:
+    def _traj(self, offsets, n_t=60, t_end=10.0, omega=2 * np.pi,
+              drift_fn=None):
+        ts = np.linspace(0.0, t_end, n_t)
+        thetas = omega * ts[:, None] + np.asarray(offsets)[None, :]
+        if drift_fn is not None:
+            thetas = thetas + drift_fn(ts)[:, None] * np.arange(
+                len(offsets))[None, :]
+        return ts, thetas
+
+    def test_synchronized_state(self):
+        ts, thetas = self._traj(np.zeros(6))
+        v = classify(ts, thetas, 2 * np.pi)
+        assert v.state is SyncState.SYNCHRONIZED
+        assert v.final_spread == pytest.approx(0.0, abs=1e-12)
+
+    def test_desynchronized_state(self):
+        ts, thetas = self._traj(np.arange(6) * 0.5)
+        v = classify(ts, thetas, 2 * np.pi)
+        assert v.state is SyncState.DESYNCHRONIZED
+        assert v.mean_abs_gap == pytest.approx(0.5)
+        assert v.gap_uniformity == pytest.approx(1.0)
+
+    def test_zigzag_ring_state_counts_as_desync(self):
+        offsets = np.array([0.0, 0.6] * 4)
+        ts, thetas = self._traj(offsets)
+        v = classify(ts, thetas, 2 * np.pi)
+        assert v.state is SyncState.DESYNCHRONIZED
+        assert v.mean_abs_gap == pytest.approx(0.6)
+        # Signed mean is ~0 on the zigzag.
+        assert abs(v.mean_gap) < 0.1
+
+    def test_transient_shrinking_spread(self):
+        # Spread decaying towards sync at the end: TRANSIENT.
+        ts = np.linspace(0.0, 10.0, 80)
+        decay = np.exp(-0.2 * ts)
+        thetas = 2 * np.pi * ts[:, None] + np.outer(decay, np.arange(4))
+        v = classify(ts, thetas, 2 * np.pi, drift_tol=1e-4)
+        assert v.state is SyncState.TRANSIENT
+
+    def test_incoherent_growing_spread(self):
+        ts = np.linspace(0.0, 10.0, 80)
+        growth = 0.1 * ts
+        thetas = 2 * np.pi * ts[:, None] + np.outer(growth, np.arange(4))
+        v = classify(ts, thetas, 2 * np.pi, drift_tol=1e-4)
+        assert v.state is SyncState.INCOHERENT
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            classify(np.zeros(3), np.zeros((4, 2)), 1.0)
+
+
+class TestSettleTime:
+    def test_sync_settle_time(self):
+        ts = np.linspace(0.0, 10.0, 101)
+        spread = np.where(ts < 4.0, 1.0, 0.01)
+        thetas = np.zeros((101, 2))
+        thetas[:, 1] = spread
+        st_ = settle_time(ts, thetas, omega=0.0, tol=0.05)
+        assert st_ == pytest.approx(4.0, abs=0.2)
+
+    def test_never_settles(self):
+        ts = np.linspace(0.0, 10.0, 50)
+        thetas = np.zeros((50, 2))
+        thetas[:, 1] = 1.0
+        assert settle_time(ts, thetas, omega=0.0, tol=0.05) == float("inf")
+
+    def test_desync_mode_requires_target(self):
+        ts = np.linspace(0.0, 1.0, 5)
+        with pytest.raises(ValueError, match="target_gap"):
+            settle_time(ts, np.zeros((5, 3)), 0.0, mode="desync")
+
+    def test_desync_settle(self):
+        ts = np.linspace(0.0, 10.0, 101)
+        gap = np.where(ts < 3.0, 0.0, 0.5)
+        thetas = np.outer(np.ones(101), np.arange(3)) * gap[:, None]
+        st_ = settle_time(ts, thetas, 0.0, tol=0.05, mode="desync",
+                          target_gap=0.5)
+        assert st_ == pytest.approx(3.0, abs=0.2)
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            settle_time(np.zeros(3), np.zeros((3, 2)), 0.0, mode="x")
+
+
+class TestFixedPointResidual:
+    def test_zero_for_common_frequency(self):
+        ts = np.linspace(0, 1, 10)
+        thetas = 3.0 * ts[:, None] + np.array([0.0, 1.0])[None, :]
+        assert fixed_point_residual(thetas, ts) == pytest.approx(0.0,
+                                                                 abs=1e-12)
+
+    def test_positive_for_unequal_frequencies(self):
+        ts = np.linspace(0, 1, 10)
+        thetas = np.stack([1.0 * ts, 2.0 * ts], axis=1)
+        assert fixed_point_residual(thetas, ts) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fixed_point_residual(np.zeros((1, 2)), np.zeros(1))
+
+
+class TestWaveMetrics:
+    def _wave_traj(self, n=12, speed=2.0, amp=0.5, omega=2 * np.pi,
+                   t_end=10.0, n_t=400, src=4, t0=1.0):
+        """Synthetic wave: rank at distance d drops by amp at t0 + d/speed."""
+        ts = np.linspace(0.0, t_end, n_t)
+        idx = np.arange(n)
+        raw = np.abs(idx - src)
+        dist = np.minimum(raw, n - raw)
+        arrive = t0 + dist / speed
+        thetas = omega * ts[:, None] - amp * (ts[:, None] >= arrive[None, :])
+        return ts, thetas, dist
+
+    def test_arrival_times_ordering(self):
+        ts, thetas, dist = self._wave_traj()
+        arr = arrival_times(ts, thetas, 2 * np.pi, 4, threshold=0.1,
+                            t_injection=0.5)
+        # Arrival grows with distance.
+        finite = np.isfinite(arr)
+        assert np.all(finite)
+        order = np.argsort(dist)
+        assert np.all(np.diff(arr[order]) >= -1e-9)
+
+    def test_measured_speed_matches_construction(self):
+        for speed in (0.5, 1.0, 3.0):
+            ts, thetas, _ = self._wave_traj(speed=speed)
+            fit = measure_wave_speed(ts, thetas, 2 * np.pi, 4,
+                                     threshold=0.1, t_injection=0.5)
+            assert fit.speed == pytest.approx(speed, rel=0.15)
+
+    def test_unreached_ranks_reported(self):
+        ts, thetas, dist = self._wave_traj(speed=0.3, t_end=5.0)
+        fit = measure_wave_speed(ts, thetas, 2 * np.pi, 4, threshold=0.1,
+                                 t_injection=0.5)
+        assert fit.n_reached < 11
+
+    def test_no_wave_gives_nan(self):
+        ts = np.linspace(0, 5, 100)
+        thetas = 2 * np.pi * ts[:, None] * np.ones((1, 8))
+        fit = measure_wave_speed(ts, thetas, 2 * np.pi, 3)
+        assert np.isnan(fit.speed)
+
+    def test_decay_length_of_damped_wave(self):
+        n, src, L = 16, 5, 3.0
+        ts = np.linspace(0, 10, 300)
+        idx = np.arange(n)
+        raw = np.abs(idx - src)
+        dist = np.minimum(raw, n - raw)
+        amp = np.exp(-dist / L)
+        thetas = 2 * np.pi * ts[:, None] - amp[None, :] * (
+            ts[:, None] >= 1.0 + dist[None, :])
+        res = wave_decay(ts, thetas, 2 * np.pi, src, t_injection=0.5)
+        assert res["decay_length"] == pytest.approx(L, rel=0.1)
+
+    def test_paired_decay_matches_unpaired_noise_free(self):
+        ts, thetas, dist = self._wave_traj()
+        base = 2 * np.pi * ts[:, None] * np.ones((1, 12))
+        paired = paired_wave_decay(base, thetas, 4)
+        assert paired["max_deficit"].max() == pytest.approx(0.5, abs=1e-9)
+
+    def test_paired_requires_same_shape(self):
+        with pytest.raises(ValueError, match="shapes"):
+            paired_wave_decay(np.zeros((5, 3)), np.zeros((4, 3)), 0)
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError, match="source"):
+            arrival_times(np.zeros(3), np.zeros((3, 4)), 1.0, 9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(theta=st.lists(st.floats(min_value=-100.0, max_value=100.0),
+                      min_size=1, max_size=40))
+def test_property_order_parameter_in_unit_interval(theta):
+    r = order_parameter(np.asarray(theta))
+    assert -1e-12 <= r <= 1.0 + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(theta=st.lists(st.floats(min_value=-10.0, max_value=10.0),
+                      min_size=2, max_size=20),
+       shift=st.floats(min_value=-10.0, max_value=10.0))
+def test_property_order_parameter_shift_invariant(theta, shift):
+    a = order_parameter(np.asarray(theta))
+    b = order_parameter(np.asarray(theta) + shift)
+    assert a == pytest.approx(b, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(theta=st.lists(st.floats(min_value=-10.0, max_value=10.0),
+                      min_size=2, max_size=20))
+def test_property_periodic_gaps_sum_to_zero(theta):
+    gaps = adjacent_gaps(np.asarray(theta), periodic=True)
+    assert gaps.sum() == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,340 @@
+"""Tests for the MPI cluster simulator (rank state machine + semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coupling import Protocol
+from repro.simulator import (
+    ClusterSimulator,
+    GaussianComputeNoise,
+    Injection,
+    MachineSpec,
+    NetworkModel,
+    PiSolverKernel,
+    ProgramSpec,
+    StreamTriadKernel,
+    Trace,
+)
+from repro.simulator.trace import Activity
+
+
+def compute_spec(n_ranks=6, n_iters=8, distances=(1, -1), machine=None,
+                 **kw):
+    m = machine or MachineSpec(nodes=1, sockets_per_node=2,
+                               cores_per_socket=4, socket_bandwidth=40e9,
+                               core_bandwidth=10e9, core_flops=30e9)
+    return ProgramSpec(n_ranks=n_ranks, n_iterations=n_iters,
+                       kernel=PiSolverKernel(1e5, machine=m), machine=m,
+                       distances=distances, **kw)
+
+
+class TestSpecValidation:
+    def test_basic_constraints(self):
+        with pytest.raises(ValueError):
+            compute_spec(n_ranks=1)
+        with pytest.raises(ValueError):
+            compute_spec(n_iters=0)
+        with pytest.raises(ValueError):
+            compute_spec(distances=())
+        with pytest.raises(ValueError):
+            compute_spec(distances=(0,))
+        with pytest.raises(ValueError):
+            compute_spec(n_ranks=4, distances=(5,))
+
+    def test_partner_lists_ring(self):
+        spec = compute_spec(n_ranks=6, distances=(1, -1, -2))
+        assert spec.send_partners(0) == [(1, 1), (5, -1), (4, -2)]
+        assert spec.recv_partners(0) == [(5, 1), (1, -1), (2, -2)]
+
+    def test_partner_lists_open_chain(self):
+        spec = compute_spec(n_ranks=6, distances=(1, -1), periodic=False)
+        assert spec.send_partners(0) == [(1, 1)]
+        assert spec.recv_partners(0) == [(1, -1)]
+        assert spec.send_partners(5) == [(4, -1)]
+
+
+class TestLockStepExecution:
+    def test_compute_bound_ring_stays_in_lockstep(self):
+        """A silent, symmetric compute-bound program is perfectly
+        translation-invariant: every rank finishes every iteration at
+        the same instant."""
+        spec = compute_spec()
+        trace = ClusterSimulator(spec, seed=0).run()
+        ends = trace.iteration_ends
+        assert np.all(np.isfinite(ends))
+        np.testing.assert_allclose(ends - ends[:, :1], 0.0, atol=1e-12)
+
+    def test_iteration_time_matches_kernel_model(self):
+        spec = compute_spec()
+        trace = ClusterSimulator(spec, seed=0).run()
+        sweep = spec.kernel.single_core_time(spec.machine)
+        durations = np.diff(trace.iteration_ends[:, 0])
+        # Iteration = compute + tiny comm overhead.
+        assert np.all(durations >= sweep)
+        assert np.all(durations <= sweep * 1.05 + 1e-5)
+
+    def test_deterministic_for_fixed_seed(self):
+        spec = compute_spec()
+        a = ClusterSimulator(spec, seed=3).run()
+        b = ClusterSimulator(spec, seed=3).run()
+        np.testing.assert_array_equal(a.iteration_ends, b.iteration_ends)
+
+    def test_all_iterations_complete(self):
+        spec = compute_spec(n_ranks=5, n_iters=12, distances=(2, -2, 1))
+        trace = ClusterSimulator(spec, seed=0).run()
+        assert trace.n_iterations == 12
+        assert np.all(np.isfinite(trace.iteration_ends))
+
+
+class TestTraceStructure:
+    def test_interval_kinds_per_iteration(self):
+        spec = compute_spec(n_ranks=4, n_iters=3)
+        trace = ClusterSimulator(spec, seed=0).run()
+        for tl in trace.timelines:
+            kinds = [iv.kind for iv in tl.intervals]
+            # compute, send, wait per iteration, in order.
+            assert kinds == [Activity.COMPUTE, Activity.SEND,
+                             Activity.WAIT] * 3
+
+    def test_intervals_are_chronological(self):
+        spec = compute_spec()
+        trace = ClusterSimulator(spec, seed=0).run()
+        for tl in trace.timelines:
+            for a, b in zip(tl.intervals, tl.intervals[1:]):
+                assert b.t_start >= a.t_end - 1e-9
+
+    def test_compute_time_accounting(self):
+        spec = compute_spec(n_iters=5)
+        trace = ClusterSimulator(spec, seed=0).run()
+        sweep = spec.kernel.single_core_time(spec.machine)
+        for tl in trace.timelines:
+            assert tl.total(Activity.COMPUTE) == pytest.approx(5 * sweep,
+                                                               rel=1e-9)
+
+    def test_meta_records_configuration(self):
+        spec = compute_spec()
+        trace = ClusterSimulator(spec, seed=0).run()
+        assert trace.meta["n_ranks"] == 6
+        assert trace.meta["protocol"] == "eager"
+        assert "memory" in trace.meta
+
+
+class TestIdleWavePropagation:
+    def run_pair(self, distances, delay_rank=2, machine=None, n_ranks=12,
+                 n_iters=20):
+        if machine is None:
+            machine = MachineSpec(nodes=2, sockets_per_node=2,
+                                  cores_per_socket=4,
+                                  socket_bandwidth=40e9,
+                                  core_bandwidth=10e9, core_flops=30e9)
+        spec = compute_spec(n_ranks=n_ranks, n_iters=n_iters,
+                            distances=distances, machine=machine)
+        base = ClusterSimulator(spec, seed=0).run()
+        extra = 4.0 * spec.kernel.single_core_time(spec.machine)
+        inj = Injection(rank=delay_rank, iteration=3, extra_time=extra)
+        disturbed = ClusterSimulator(spec, injections=[inj], seed=0).run()
+        return base, disturbed
+
+    def test_delay_extends_makespan(self):
+        base, disturbed = self.run_pair((1, -1))
+        assert disturbed.makespan > base.makespan
+
+    def test_next_neighbor_wave_speed_one(self):
+        """d = ±1: the analytic model [4] predicts exactly 1 rank per
+        iteration in each direction.  The direct neighbours already wait
+        inside the injection iteration (their Waitall blocks on the
+        delayed rank's message), so the front reaches ring distance k at
+        iteration 3 + (k - 1)."""
+        base, disturbed = self.run_pair((1, -1))
+        lag = disturbed.iteration_ends - base.iteration_ends
+        for k in (1, 2, 3, 4):
+            arrive = 3 + (k - 1)
+            assert lag[arrive, 2 + k] > 1e-6         # wave arrived
+            assert lag[arrive - 1, 2 + k] < 1e-9     # not before
+            # Symmetric leftward propagation.
+            assert lag[arrive, 2 - k] > 1e-6
+
+    def test_longer_distance_faster_wave(self):
+        """d = ±1,-2 propagates 2 ranks/iteration leftwards: the send of
+        rank r with d = -2 targets r - 2, so rank r - 2 waits on r."""
+        base, disturbed = self.run_pair((1, -1, -2))
+        lag = disturbed.iteration_ends - base.iteration_ends
+        # Leftward front: distance 2k at iteration 3 + (k - 1)
+        # (ranks 0, 10, 8, ... on the 12-ring).
+        assert lag[3, 0] > 1e-6           # direct -2 receiver
+        assert lag[4, 10] > 1e-6          # two hops of -2
+        assert lag[3, 10] < 1e-9          # but not already at 3
+        assert lag[5, 8] > 1e-6
+        assert lag[4, 8] < 1e-9
+        # Rightward is still 1 rank/iteration (d = +1 only).
+        assert lag[4, 4] > 1e-6
+        assert lag[3, 4] < 1e-9
+
+    def test_wave_conserved_without_noise(self):
+        """On a silent system every rank eventually absorbs the full
+        delay (the wave does not decay — refs [2,4])."""
+        base, disturbed = self.run_pair((1, -1))
+        lag = disturbed.iteration_ends - base.iteration_ends
+        final = lag[-1]
+        assert np.all(final > 0.9 * final.max())
+
+    def test_wait_matrix_shows_wave(self):
+        base, disturbed = self.run_pair((1, -1))
+        waits = disturbed.wait_matrix()
+        # Neighbours of the delayed rank wait during the delay iteration.
+        assert waits[3, 1] > 0 or waits[3, 3] > 0
+
+
+class TestRendezvousProtocol:
+    def test_rendezvous_couples_sender_to_receiver(self):
+        """With rendezvous, a slow *receiver* stalls its senders: the
+        makespan impact of a delay is at least as large as eager."""
+        m = MachineSpec(nodes=1, sockets_per_node=2, cores_per_socket=4,
+                        socket_bandwidth=40e9, core_bandwidth=10e9,
+                        core_flops=30e9)
+        results = {}
+        for proto in (Protocol.EAGER, Protocol.RENDEZVOUS):
+            spec = ProgramSpec(
+                n_ranks=6, n_iterations=12,
+                kernel=PiSolverKernel(1e5, machine=m), machine=m,
+                distances=(1, -1),
+                network=NetworkModel(forced_protocol=proto))
+            extra = 4.0 * spec.kernel.single_core_time(m)
+            inj = Injection(rank=2, iteration=3, extra_time=extra)
+            base = ClusterSimulator(spec, seed=0).run()
+            dist = ClusterSimulator(spec, injections=[inj], seed=0).run()
+            lag = dist.iteration_ends - base.iteration_ends
+            # Count ranks already lagging two iterations after injection.
+            results[proto] = int((lag[5] > 1e-6).sum())
+        assert results[Protocol.RENDEZVOUS] >= results[Protocol.EAGER]
+
+    def test_rendezvous_completes_without_deadlock(self):
+        m = MachineSpec(nodes=1, sockets_per_node=2, cores_per_socket=4,
+                        socket_bandwidth=40e9, core_bandwidth=10e9,
+                        core_flops=30e9)
+        spec = ProgramSpec(
+            n_ranks=8, n_iterations=10,
+            kernel=PiSolverKernel(1e5, machine=m), machine=m,
+            distances=(1, -1, -2),
+            network=NetworkModel(forced_protocol=Protocol.RENDEZVOUS))
+        trace = ClusterSimulator(spec, seed=0).run()
+        assert np.all(np.isfinite(trace.iteration_ends))
+
+    def test_protocol_chosen_by_message_size(self):
+        spec = compute_spec(message_bytes=1024.0)
+        assert ClusterSimulator(spec)._protocol is Protocol.EAGER
+        big = compute_spec(message_bytes=1e6)
+        assert ClusterSimulator(big)._protocol is Protocol.RENDEZVOUS
+
+
+class TestMemoryBoundExecution:
+    def test_socket_contention_slows_iterations(self, tiny_machine):
+        """4 STREAM ranks on a 40 GB/s socket run slower per sweep than
+        a single uncontended rank would."""
+        kernel = StreamTriadKernel(2e6)
+        spec = ProgramSpec(n_ranks=4, n_iterations=6, kernel=kernel,
+                           machine=tiny_machine, distances=(1, -1))
+        trace = ClusterSimulator(spec, seed=0).run()
+        solo = kernel.single_core_time(tiny_machine)
+        contended = kernel.contended_time(tiny_machine, 4)
+        mean_iter = trace.makespan / 6
+        assert mean_iter > solo
+        assert mean_iter == pytest.approx(contended, rel=0.1)
+
+    def test_memory_stats_accumulated(self, small_memory_spec):
+        sim = ClusterSimulator(small_memory_spec, seed=0)
+        sim.run()
+        total = sum(a.stats.bytes_transferred
+                    for a in sim.memory_stats.values())
+        expected = (small_memory_spec.kernel.traffic_bytes
+                    * small_memory_spec.n_ranks
+                    * small_memory_spec.n_iterations)
+        assert total == pytest.approx(expected, rel=1e-6)
+
+    def test_delay_produces_persistent_desync(self):
+        """The residual computational wavefront (paper Sec. 5.1.2): on a
+        multi-socket memory-bound run a one-off delay leaves persistent
+        staggered execution, while the undisturbed run is lock-step."""
+        kernel = StreamTriadKernel(2e6)
+        m = MachineSpec.meggie()          # one node, two sockets
+        spec = ProgramSpec(n_ranks=20, n_iterations=30, kernel=kernel,
+                           machine=m, distances=(1, -1))
+        extra = 3.0 * kernel.single_core_time(m)
+        inj = Injection(rank=4, iteration=3, extra_time=extra)
+        base = ClusterSimulator(spec, seed=0).run()
+        dist = ClusterSimulator(spec, injections=[inj], seed=0).run()
+        mean_iter = dist.makespan / 30
+        skew_base = (base.iteration_ends[-1].max()
+                     - base.iteration_ends[-1].min())
+        skew_dist = (dist.iteration_ends[-1].max()
+                     - dist.iteration_ends[-1].min())
+        assert skew_base < 1e-9                      # lock-step baseline
+        assert skew_dist > 0.05 * mean_iter          # persistent wavefront
+
+    def test_delay_absorbed_within_oversubscribed_socket(self):
+        """The extra idle-wave decay channel (Sec. 5.1.2): ranks sharing
+        a saturated socket absorb most of an injected delay because the
+        remaining ranks stream faster while the victim stalls (a
+        compute-bound kernel instead propagates the full delay — see
+        the idle-wave conservation test)."""
+        kernel = StreamTriadKernel(2e6)
+        m = MachineSpec.meggie()
+        spec = ProgramSpec(n_ranks=20, n_iterations=30, kernel=kernel,
+                           machine=m, distances=(1, -1))
+        extra = 3.0 * kernel.single_core_time(m)
+        inj = Injection(rank=4, iteration=3, extra_time=extra)
+        base = ClusterSimulator(spec, seed=0).run()
+        dist = ClusterSimulator(spec, injections=[inj], seed=0).run()
+        growth = dist.makespan - base.makespan
+        assert growth < 0.8 * extra
+
+
+class TestNoiseAndBarriers:
+    def test_compute_noise_breaks_lockstep(self):
+        spec = compute_spec(n_iters=10)
+        noise = GaussianComputeNoise(std=0.1 * spec.kernel.core_time)
+        trace = ClusterSimulator(spec, compute_noise=noise, seed=1).run()
+        ends = trace.iteration_ends
+        skew = ends.max(axis=1) - ends.min(axis=1)
+        assert skew[-1] > 0
+
+    def test_noise_reproducible_by_seed(self):
+        spec = compute_spec(n_iters=6)
+        noise = GaussianComputeNoise(std=0.1 * spec.kernel.core_time)
+        a = ClusterSimulator(spec, compute_noise=noise, seed=9).run()
+        b = ClusterSimulator(spec, compute_noise=noise, seed=9).run()
+        np.testing.assert_array_equal(a.iteration_ends, b.iteration_ends)
+
+    def test_barrier_resynchronizes(self):
+        """With a global barrier every iteration, a one-off delay cannot
+        produce a travelling wave: all ranks stall together."""
+        spec_free = compute_spec(n_ranks=8, n_iters=12)
+        spec_barrier = compute_spec(n_ranks=8, n_iters=12,
+                                    barrier_interval=1)
+        extra = 4.0 * spec_free.kernel.single_core_time(spec_free.machine)
+        inj = Injection(rank=2, iteration=3, extra_time=extra)
+        free = ClusterSimulator(spec_free, injections=[inj], seed=0).run()
+        barr = ClusterSimulator(spec_barrier, injections=[inj], seed=0).run()
+        lag_free = free.iteration_ends[5] - free.iteration_ends[5].min()
+        lag_barr = barr.iteration_ends[5] - barr.iteration_ends[5].min()
+        # Barrier: everyone in lock-step again right after the delay.
+        assert lag_barr.max() == pytest.approx(0.0, abs=1e-9)
+        # Barrier-free: the wave is still travelling (some ranks ahead).
+        assert lag_free.max() > 1e-6
+
+    def test_barrier_intervals_recorded(self):
+        spec = compute_spec(n_ranks=4, n_iters=6, barrier_interval=2)
+        trace = ClusterSimulator(spec, seed=0).run()
+        kinds = {iv.kind for tl in trace.timelines for iv in tl.intervals}
+        assert Activity.BARRIER in kinds
+
+
+class TestInjectionValidation:
+    def test_out_of_range_injection(self):
+        spec = compute_spec()
+        with pytest.raises(ValueError, match="rank"):
+            ClusterSimulator(spec, injections=[
+                Injection(rank=99, iteration=0, extra_time=1.0)])
+        with pytest.raises(ValueError, match="iteration"):
+            ClusterSimulator(spec, injections=[
+                Injection(rank=0, iteration=99, extra_time=1.0)])

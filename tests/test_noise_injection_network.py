@@ -1,0 +1,101 @@
+"""Tests for DES noise injection and the network model."""
+
+import numpy as np
+import pytest
+
+from repro.core.coupling import Protocol
+from repro.simulator import (
+    ExponentialComputeNoise,
+    GaussianComputeNoise,
+    Injection,
+    NetworkModel,
+    NoComputeNoise,
+    injection_matrix,
+)
+
+
+class TestInjection:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Injection(rank=-1, iteration=0, extra_time=1.0)
+        with pytest.raises(ValueError):
+            Injection(rank=0, iteration=0, extra_time=0.0)
+
+    def test_matrix_placement(self):
+        inj = [Injection(rank=2, iteration=1, extra_time=0.5),
+               Injection(rank=2, iteration=1, extra_time=0.25)]
+        m = injection_matrix(inj, n_ranks=4, n_iterations=3)
+        assert m[1, 2] == pytest.approx(0.75)
+        assert m.sum() == pytest.approx(0.75)
+
+    def test_matrix_bounds_checked(self):
+        with pytest.raises(ValueError, match="rank"):
+            injection_matrix([Injection(rank=9, iteration=0,
+                                        extra_time=1.0)], 4, 3)
+        with pytest.raises(ValueError, match="iteration"):
+            injection_matrix([Injection(rank=0, iteration=9,
+                                        extra_time=1.0)], 4, 3)
+
+
+class TestComputeNoise:
+    def test_no_noise(self, rng):
+        m = NoComputeNoise().realize(4, 5, rng)
+        np.testing.assert_array_equal(m, 0.0)
+
+    def test_gaussian_nonnegative(self, rng):
+        m = GaussianComputeNoise(std=0.1).realize(10, 100, rng)
+        assert np.all(m >= 0.0)
+        assert m.mean() == pytest.approx(0.1 * np.sqrt(2 / np.pi), rel=0.1)
+
+    def test_exponential_sparsity(self, rng):
+        m = ExponentialComputeNoise(scale=1.0, prob=0.1).realize(
+            20, 200, rng)
+        frac = np.count_nonzero(m) / m.size
+        assert frac == pytest.approx(0.1, abs=0.02)
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError):
+            GaussianComputeNoise(std=-1.0).realize(2, 2, rng)
+        with pytest.raises(ValueError):
+            ExponentialComputeNoise(scale=1.0, prob=1.5).realize(2, 2, rng)
+
+    def test_describe(self):
+        d = ExponentialComputeNoise(scale=0.5, prob=0.2).describe()
+        assert d["type"] == "ExponentialComputeNoise"
+        assert d["scale"] == 0.5
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        net = NetworkModel(latency=1e-6, bandwidth=1e9)
+        assert net.transfer_time(1e6) == pytest.approx(1e-6 + 1e-3)
+
+    def test_protocol_by_size(self):
+        net = NetworkModel(eager_limit=1024.0)
+        assert net.protocol_for(100.0) is Protocol.EAGER
+        assert net.protocol_for(1e6) is Protocol.RENDEZVOUS
+
+    def test_forced_protocol_wins(self):
+        net = NetworkModel(eager_limit=1024.0,
+                           forced_protocol=Protocol.RENDEZVOUS)
+        assert net.protocol_for(1.0) is Protocol.RENDEZVOUS
+
+    def test_with_protocol_copy(self):
+        net = NetworkModel()
+        pinned = net.with_protocol(Protocol.RENDEZVOUS)
+        assert pinned.forced_protocol is Protocol.RENDEZVOUS
+        assert net.forced_protocol is None
+        assert pinned.latency == net.latency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-5.0)
+
+    def test_describe(self):
+        d = NetworkModel().describe()
+        assert d["forced_protocol"] is None
+        assert d["latency_us"] == pytest.approx(1.5)

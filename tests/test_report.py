@@ -1,0 +1,61 @@
+"""Tests for the markdown report builder and the `pom report` command."""
+
+import pytest
+
+from repro.cli import main
+from repro.viz import ReportBuilder
+
+
+class TestReportBuilder:
+    def test_section_rendering(self):
+        rb = ReportBuilder(title="T")
+        rb.add_section("Heading", "body text")
+        out = rb.render()
+        assert out.startswith("# T")
+        assert "## Heading" in out
+        assert "body text" in out
+
+    def test_table_rendering(self):
+        rb = ReportBuilder()
+        rb.add_table("Tab", {"a": [1, 2], "b": [0.5, float("inf")]},
+                     note="a note")
+        out = rb.render()
+        assert "| a" in out
+        assert "0.5" in out
+        assert "inf" in out
+        assert "a note" in out
+
+    def test_table_alignment_consistent(self):
+        rb = ReportBuilder()
+        rb.add_table("Tab", {"col": ["x", "longer-value"]})
+        lines = [ln for ln in rb.render().splitlines()
+                 if ln.startswith("|")]
+        widths = {len(ln) for ln in lines}
+        assert len(widths) == 1          # all rows equally wide
+
+    def test_write_creates_directories(self, tmp_path):
+        rb = ReportBuilder()
+        rb.add_section("s", "b")
+        p = rb.write(tmp_path / "deep" / "r.md")
+        assert p.exists()
+        assert p.read_text().startswith("# POM reproduction report")
+
+
+class TestReportCommand:
+    def test_parser_accepts_report(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["report", "/tmp/x.md", "--full"])
+        assert args.command == "report"
+        assert args.full
+
+    @pytest.mark.slow
+    def test_end_to_end_quick_report(self, tmp_path):
+        """Full quick report (~30 s) — marked slow; exercised anyway
+        because the suite has no slow-marker filter by default."""
+        out = tmp_path / "report.md"
+        assert main(["report", str(out)]) == 0
+        text = out.read_text()
+        for heading in ("FIG1A", "FIG1B", "FIG2", "CLAIM-BK",
+                        "CLAIM-SIGMA", "CLAIM-KM"):
+            assert heading in text

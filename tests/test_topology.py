@@ -1,0 +1,226 @@
+"""Tests for communication topologies and the kappa rules."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Topology,
+    all_to_all,
+    chain,
+    from_edges,
+    from_networkx,
+    grid2d,
+    random_topology,
+    ring,
+    torus2d,
+)
+from repro.core.topology import dependency_topology
+
+
+class TestTopologyValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            Topology(matrix=np.zeros((2, 3)))
+
+    def test_rejects_non_binary(self):
+        m = np.zeros((3, 3))
+        m[0, 1] = 0.5
+        with pytest.raises(ValueError, match="0 or 1"):
+            Topology(matrix=m)
+
+    def test_rejects_self_coupling(self):
+        m = np.eye(3)
+        with pytest.raises(ValueError, match="diagonal"):
+            Topology(matrix=m)
+
+
+class TestRing:
+    def test_next_neighbor_structure(self):
+        topo = ring(6, (1, -1))
+        assert topo.n == 6
+        for i in range(6):
+            partners = set(topo.neighbors(i))
+            assert partners == {(i + 1) % 6, (i - 1) % 6}
+
+    def test_symmetric_by_default(self):
+        assert ring(8, (1, -1, -2)).is_symmetric
+
+    def test_asymmetric_when_requested(self):
+        topo = ring(8, (1,), symmetrize=False)
+        assert not topo.is_symmetric
+
+    def test_paper_distance_set(self):
+        topo = ring(10, (1, -1, -2))
+        # Symmetrised: partners at +-1 and +-2.
+        assert set(topo.neighbors(5)) == {4, 6, 3, 7}
+
+    def test_wraparound(self):
+        topo = ring(5, (2, -2))
+        assert set(topo.neighbors(4)) == {1, 2}
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ValueError, match="distance 0"):
+            ring(5, (0, 1))
+
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ValueError, match="two processes"):
+            ring(1, (1,))
+
+    def test_connected(self):
+        assert ring(12, (1, -1)).is_connected()
+
+
+class TestChain:
+    def test_open_ends_have_fewer_partners(self):
+        topo = chain(6, (1, -1))
+        assert set(topo.neighbors(0)) == {1}
+        assert set(topo.neighbors(5)) == {4}
+        assert set(topo.neighbors(3)) == {2, 4}
+
+    def test_not_periodic(self):
+        assert chain(6, (1, -1)).periodic is False
+
+    def test_no_wraparound_edges(self):
+        topo = chain(6, (2, -2))
+        assert 4 not in topo.neighbors(0) or topo.matrix[0, 4] == 0.0
+        assert topo.matrix[0, 5] == 0.0
+
+
+class TestOtherBuilders:
+    def test_all_to_all_degree(self):
+        topo = all_to_all(7)
+        np.testing.assert_array_equal(topo.degree(), np.full(7, 6.0))
+
+    def test_grid2d_interior_degree(self):
+        topo = grid2d(4, 4)
+        # rank 5 = (1, 1) is interior: 4 neighbours.
+        assert len(topo.neighbors(5)) == 4
+        # corner 0 has 2.
+        assert len(topo.neighbors(0)) == 2
+
+    def test_torus2d_uniform_degree(self):
+        topo = torus2d(4, 3)
+        assert np.all(topo.degree() == 4)
+
+    def test_torus_2xN_degenerate_wrap(self):
+        # On a 2-wide torus +1 and -1 wrap to the same neighbour; the
+        # builder must not produce self-loops or double edges.
+        topo = torus2d(2, 3)
+        assert np.all(np.diag(topo.matrix) == 0)
+
+    def test_random_topology_connected(self, rng):
+        topo = random_topology(12, 0.3, rng=rng)
+        assert topo.is_connected()
+
+    def test_random_topology_rejects_bad_p(self, rng):
+        with pytest.raises(ValueError):
+            random_topology(5, 1.5, rng=rng)
+
+    def test_from_edges(self):
+        topo = from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert topo.is_symmetric
+        assert topo.n_edges == 6
+
+    def test_from_edges_rejects_self_edge(self):
+        with pytest.raises(ValueError, match="self-edges"):
+            from_edges(4, [(1, 1)])
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(3, [(0, 7)])
+
+    def test_from_networkx_roundtrip(self):
+        g = nx.cycle_graph(6)
+        topo = from_networkx(g)
+        expected = ring(6, (1, -1))
+        np.testing.assert_array_equal(topo.matrix, expected.matrix)
+
+
+class TestKappaRules:
+    def test_kappa_sum_next_neighbor(self):
+        # d = +-1: kappa = |1| + |-1| = 2 (paper Sec. 3.1).
+        assert ring(10, (1, -1)).kappa() == 2.0
+
+    def test_kappa_sum_paper_set(self):
+        # d = +-1, -2: kappa = 1 + 1 + 2 = 4.
+        assert ring(10, (1, -1, -2)).kappa() == 4.0
+
+    def test_kappa_waitall_is_max(self):
+        # Grouped MPI_Waitall: kappa = longest distance only.
+        assert ring(10, (1, -1, -2)).kappa(waitall_grouped=True) == 2.0
+        assert ring(10, (1, -1)).kappa(waitall_grouped=True) == 1.0
+
+    def test_kappa_extracted_from_matrix(self):
+        # Topology built without a distance set still yields kappa.
+        explicit = ring(10, (1, -1))
+        anonymous = Topology(matrix=explicit.matrix)
+        assert anonymous.kappa() == explicit.kappa()
+
+    def test_distance_multiset_known(self):
+        assert sorted(ring(10, (1, -1, -2)).distance_multiset()) == [-2, -1, 1]
+
+
+class TestSpectralProperties:
+    def test_laplacian_rows_sum_to_zero(self):
+        lap = ring(8, (1, -1)).laplacian()
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_ring_spectral_gap_formula(self):
+        # Ring Laplacian eigenvalues: 2 - 2cos(2*pi*k/n).
+        n = 10
+        gap = ring(n, (1, -1)).spectral_gap()
+        assert gap == pytest.approx(2 - 2 * np.cos(2 * np.pi / n), abs=1e-9)
+
+    def test_all_to_all_gap_is_n(self):
+        assert all_to_all(6).spectral_gap() == pytest.approx(6.0)
+
+    def test_more_edges_larger_gap(self):
+        assert (ring(12, (1, -1, 2, -2)).spectral_gap()
+                > ring(12, (1, -1)).spectral_gap())
+
+
+class TestDependencyTopology:
+    def test_eager_is_directed_for_asymmetric_set(self):
+        # Sends d = +1,-1,-2: rank i receives from i-1, i+1, i+2.
+        topo = dependency_topology(10, (1, -1, -2))
+        assert set(np.flatnonzero(topo.matrix[5])) == {4, 6, 7}
+        assert not topo.is_symmetric
+
+    def test_rendezvous_adds_reverse_edges(self):
+        topo = dependency_topology(10, (1, -1, -2), rendezvous=True)
+        # Senders also block: i depends on i+1, i-1, i-2 as well.
+        assert set(np.flatnonzero(topo.matrix[5])) == {3, 4, 6, 7}
+
+    def test_symmetric_set_eager_is_symmetric(self):
+        topo = dependency_topology(8, (1, -1))
+        assert topo.is_symmetric
+
+    def test_open_chain_variant(self):
+        topo = dependency_topology(6, (1,), periodic=False)
+        # rank 0 receives from -1: nothing.
+        assert len(topo.neighbors(0)) == 0
+        assert len(topo.neighbors(3)) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=4, max_value=24),
+       dists=st.lists(st.sampled_from([1, -1, 2, -2, 3, -3]),
+                      min_size=1, max_size=4, unique=True))
+def test_property_ring_symmetrized_matrix(n, dists):
+    """Symmetrised ring matrices are symmetric with zero diagonal and
+    their kappa follows the sum/max rules exactly."""
+    topo = ring(n, dists)
+    assert topo.is_symmetric
+    assert np.all(np.diag(topo.matrix) == 0)
+    mags = [abs(d) for d in dists]
+    assert topo.kappa() == pytest.approx(sum(mags))
+    assert topo.kappa(waitall_grouped=True) == pytest.approx(max(mags))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=3, max_value=30))
+def test_property_all_to_all_edge_count(n):
+    assert all_to_all(n).n_edges == n * (n - 1)

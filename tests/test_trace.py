@@ -1,0 +1,119 @@
+"""Tests for the trace containers and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import Interval, RankTimeline, Trace
+from repro.simulator.trace import Activity, merge_time_ordered
+
+
+def small_trace():
+    tl0 = RankTimeline(rank=0)
+    tl0.add(Activity.COMPUTE, 0.0, 1.0, 0)
+    tl0.add(Activity.SEND, 1.0, 1.1, 0)
+    tl0.add(Activity.WAIT, 1.1, 1.5, 0)
+    tl0.add(Activity.COMPUTE, 1.5, 2.5, 1)
+    tl0.add(Activity.SEND, 2.5, 2.6, 1)
+    tl0.add(Activity.WAIT, 2.6, 2.6, 1)
+    tl1 = RankTimeline(rank=1)
+    tl1.add(Activity.COMPUTE, 0.0, 1.2, 0)
+    tl1.add(Activity.SEND, 1.2, 1.3, 0)
+    tl1.add(Activity.WAIT, 1.3, 1.5, 0)
+    tl1.add(Activity.COMPUTE, 1.5, 2.4, 1)
+    tl1.add(Activity.SEND, 2.4, 2.5, 1)
+    tl1.add(Activity.WAIT, 2.5, 2.6, 1)
+    ends = np.array([[1.5, 1.5], [2.6, 2.6]])
+    return Trace(timelines=[tl0, tl1], iteration_ends=ends,
+                 meta={"n_ranks": 2})
+
+
+class TestInterval:
+    def test_duration(self):
+        iv = Interval(Activity.COMPUTE, 1.0, 2.5, 0)
+        assert iv.duration == pytest.approx(1.5)
+
+    def test_zero_length_allowed(self):
+        iv = Interval(Activity.WAIT, 1.0, 1.0, 0)
+        assert iv.duration == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            Interval("sleeping", 0.0, 1.0, 0)
+        with pytest.raises(ValueError, match="ends before"):
+            Interval(Activity.COMPUTE, 2.0, 1.0, 0)
+        with pytest.raises(ValueError, match="iteration"):
+            Interval(Activity.COMPUTE, 0.0, 1.0, -1)
+
+
+class TestRankTimeline:
+    def test_overlap_rejected(self):
+        tl = RankTimeline(rank=0)
+        tl.add(Activity.COMPUTE, 0.0, 1.0, 0)
+        with pytest.raises(ValueError, match="overlaps"):
+            tl.add(Activity.SEND, 0.5, 1.5, 0)
+
+    def test_totals(self):
+        trace = small_trace()
+        assert trace.timelines[0].total(Activity.COMPUTE) == pytest.approx(2.0)
+        assert trace.timelines[0].total(Activity.WAIT) == pytest.approx(0.4)
+
+    def test_busy_fraction(self):
+        trace = small_trace()
+        frac = trace.timelines[0].busy_fraction()
+        assert frac == pytest.approx(2.0 / 2.6)
+
+
+class TestTrace:
+    def test_shapes_and_props(self):
+        trace = small_trace()
+        assert trace.n_ranks == 2
+        assert trace.n_iterations == 2
+        assert trace.makespan == pytest.approx(2.6)
+
+    def test_wait_matrix(self):
+        trace = small_trace()
+        w = trace.wait_matrix()
+        assert w.shape == (2, 2)
+        assert w[0, 0] == pytest.approx(0.4)
+        assert w[1, 1] == pytest.approx(0.1)
+
+    def test_compute_matrix(self):
+        trace = small_trace()
+        c = trace.compute_matrix()
+        assert c[0, 1] == pytest.approx(1.2)
+
+    def test_iteration_durations(self):
+        trace = small_trace()
+        d = trace.iteration_durations()
+        np.testing.assert_allclose(d[:, 0], [1.5, 1.1])
+
+    def test_total_wait(self):
+        trace = small_trace()
+        assert trace.total_wait() == pytest.approx(0.4 + 0.0 + 0.2 + 0.1)
+
+    def test_aggregate_bandwidth(self):
+        trace = small_trace()
+        bw = trace.aggregate_bandwidth(traffic_per_iteration=1e9)
+        assert bw == pytest.approx(2 * 2 * 1e9 / 2.6)
+
+    def test_json_roundtrip(self):
+        trace = small_trace()
+        clone = Trace.from_json(trace.to_json())
+        assert clone.n_ranks == trace.n_ranks
+        np.testing.assert_allclose(clone.iteration_ends,
+                                   trace.iteration_ends)
+        assert clone.meta == trace.meta
+        assert clone.timelines[1].intervals == trace.timelines[1].intervals
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Trace(timelines=[], iteration_ends=np.zeros(3))
+        with pytest.raises(ValueError, match="disagree"):
+            Trace(timelines=[RankTimeline(rank=0)],
+                  iteration_ends=np.zeros((2, 3)))
+
+    def test_merge_time_ordered(self):
+        ivs = [Interval(Activity.WAIT, 2.0, 3.0, 0),
+               Interval(Activity.COMPUTE, 0.0, 1.0, 0)]
+        merged = merge_time_ordered(ivs)
+        assert merged[0].kind == Activity.COMPUTE

@@ -1,0 +1,129 @@
+"""Tests for the OscillatorTrajectory views (paper Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OscillatorTrajectory,
+    PhysicalOscillatorModel,
+    TanhPotential,
+    ring,
+    simulate,
+)
+
+
+def make_model(n=4, v=0.0):
+    return PhysicalOscillatorModel(topology=ring(n, (1, -1)),
+                                   potential=TanhPotential(),
+                                   t_comp=0.9, t_comm=0.1, v_p_override=v)
+
+
+def synthetic_traj(n=4, n_t=50, slope=None):
+    """Phases advancing at omega with a per-rank offset."""
+    m = make_model(n)
+    ts = np.linspace(0.0, 5.0, n_t)
+    offsets = np.arange(n) * (slope if slope is not None else 0.0)
+    thetas = m.omega * ts[:, None] + offsets[None, :]
+    return OscillatorTrajectory(ts=ts, thetas=thetas, model=m)
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        m = make_model(4)
+        with pytest.raises(ValueError, match="2-D"):
+            OscillatorTrajectory(ts=np.zeros(3), thetas=np.zeros(3), model=m)
+        with pytest.raises(ValueError, match="samples"):
+            OscillatorTrajectory(ts=np.zeros(3), thetas=np.zeros((4, 4)),
+                                 model=m)
+        with pytest.raises(ValueError, match="oscillators"):
+            OscillatorTrajectory(ts=np.zeros(3), thetas=np.zeros((3, 7)),
+                                 model=m)
+
+
+class TestViews:
+    def test_comoving_removes_rotation(self):
+        traj = synthetic_traj(slope=0.1)
+        x = traj.comoving_phases()
+        # Time-independent after removing omega*t.
+        np.testing.assert_allclose(x[0], x[-1], atol=1e-10)
+
+    def test_lagger_normalized_nonnegative_with_zero_min(self):
+        traj = synthetic_traj(slope=0.2)
+        lag = traj.lagger_normalized()
+        assert np.all(lag >= -1e-12)
+        np.testing.assert_allclose(lag.min(axis=1), 0.0, atol=1e-12)
+
+    def test_lagger_is_slowest_process(self):
+        traj = synthetic_traj(slope=0.3)
+        lag = traj.lagger_normalized()
+        # Rank 0 has the smallest offset: it is the lagger everywhere.
+        np.testing.assert_allclose(lag[:, 0], 0.0, atol=1e-12)
+
+    def test_phase_differences_default_ring_pairs(self):
+        traj = synthetic_traj(slope=0.5)
+        d = traj.phase_differences()
+        assert d.shape == (traj.n_samples, traj.n)
+        # Interior pairs all at +0.5; the wrap pair at -(n-1)*0.5.
+        np.testing.assert_allclose(d[0, :-1], 0.5, atol=1e-12)
+        np.testing.assert_allclose(d[0, -1], -1.5, atol=1e-12)
+
+    def test_phase_differences_custom_pairs(self):
+        traj = synthetic_traj(slope=1.0)
+        d = traj.phase_differences([(0, 3)])
+        np.testing.assert_allclose(d[:, 0], 3.0, atol=1e-12)
+
+    def test_potential_timeline_zero_in_sync(self):
+        traj = synthetic_traj(slope=0.0)
+        v = traj.potential_timeline()
+        np.testing.assert_allclose(v, 0.0, atol=1e-12)
+
+    def test_potential_timeline_edge_count(self):
+        traj = synthetic_traj(slope=0.1)
+        v = traj.potential_timeline()
+        assert v.shape[1] == traj.model.topology.n_edges
+
+    def test_circle_state_fields(self):
+        traj = synthetic_traj(slope=0.4)
+        st = traj.circle_state(-1)
+        assert set(st) == {"angles", "x", "y", "frequency"}
+        np.testing.assert_allclose(st["x"] ** 2 + st["y"] ** 2, 1.0,
+                                   atol=1e-12)
+        # Frequencies ~ omega for the uniform rotation.
+        np.testing.assert_allclose(st["frequency"], traj.model.omega,
+                                   rtol=1e-6)
+
+
+class TestAsymptotics:
+    def test_tail_keeps_final_fraction(self):
+        traj = synthetic_traj(n_t=100)
+        tail = traj.tail(0.25)
+        assert tail.n_samples == 25
+        assert tail.ts[-1] == traj.ts[-1]
+
+    def test_tail_validates_fraction(self):
+        with pytest.raises(ValueError):
+            synthetic_traj().tail(0.0)
+
+    def test_asymptotic_gaps(self):
+        traj = synthetic_traj(slope=0.7)
+        gaps = traj.asymptotic_gaps()
+        np.testing.assert_allclose(gaps[:-1], 0.7, atol=1e-12)
+
+    def test_mean_frequency_uniform_rotation(self):
+        traj = synthetic_traj()
+        np.testing.assert_allclose(traj.mean_frequency(),
+                                   traj.model.omega, rtol=1e-9)
+
+    def test_resample_with_dense_output(self):
+        m = make_model(4, v=1.0)
+        traj = simulate(m, 2.0, seed=0)
+        r = traj.resample(33)
+        assert r.n_samples == 33
+        # Resampled endpoints agree with original.
+        np.testing.assert_allclose(r.thetas[-1], traj.thetas[-1], atol=1e-8)
+
+    def test_resample_without_dense_output_falls_back(self):
+        traj = synthetic_traj(n_t=40)
+        r = traj.resample(10)
+        assert r.n_samples == 10
+        np.testing.assert_allclose(r.thetas[0], traj.thetas[0], atol=1e-12)

@@ -1,0 +1,144 @@
+"""Tests for the ASCII renderers and CSV/JSON exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    circle_animation_frames,
+    circle_diagram,
+    circle_frame,
+    heatmap,
+    phase_clusters,
+    read_csv,
+    sparkline,
+    timeline,
+    write_csv,
+    write_json,
+    write_matrix,
+)
+from repro.core import PhysicalOscillatorModel, TanhPotential, ring, simulate
+
+
+class TestAscii:
+    def test_heatmap_dimensions(self):
+        m = np.random.default_rng(0).random((30, 8))
+        out = heatmap(m, width=40, title="test")
+        lines = out.splitlines()
+        assert lines[0] == "test"
+        assert len(lines) == 1 + 8 + 1      # title + ranks + footer
+
+    def test_heatmap_rejects_1d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(5))
+
+    def test_heatmap_constant_matrix(self):
+        out = heatmap(np.ones((4, 3)))
+        assert "value" in out
+
+    def test_circle_diagram_renders_all(self):
+        theta = np.linspace(0, 2 * np.pi, 8, endpoint=False)
+        out = circle_diagram(theta)
+        digits = sum(c.isdigit() for c in out)
+        assert digits >= 6   # collisions possible at low resolution
+
+    def test_circle_diagram_cluster_collapses(self):
+        out = circle_diagram(np.zeros(9))
+        assert "9" in out
+
+    def test_timeline_legend(self):
+        w = np.random.default_rng(1).random((10, 4)) * 0.1
+        out = timeline(w, title="t")
+        assert "compute" in out
+        assert out.splitlines()[0] == "t"
+
+    def test_sparkline_length(self):
+        s = sparkline(np.arange(100), width=20)
+        assert len(s) == 20
+
+    def test_sparkline_validation(self):
+        with pytest.raises(ValueError):
+            sparkline(np.array([]))
+
+
+class TestCircleData:
+    def make_traj(self):
+        m = PhysicalOscillatorModel(topology=ring(6, (1, -1)),
+                                    potential=TanhPotential(),
+                                    t_comp=0.9, t_comm=0.1)
+        return simulate(m, 3.0, seed=0)
+
+    def test_circle_frame_fields(self):
+        fr = circle_frame(self.make_traj())
+        assert fr.angles.shape == (6,)
+        np.testing.assert_allclose(fr.x**2 + fr.y**2, 1.0, atol=1e-12)
+
+    def test_animation_frames(self):
+        frames = circle_animation_frames(self.make_traj(), n_frames=7)
+        assert len(frames) == 7
+        assert frames[0].t <= frames[-1].t
+
+    def test_phase_clusters_single_cluster(self):
+        clusters = phase_clusters(np.full(5, 0.3))
+        assert len(clusters) == 1
+        assert len(clusters[0]) == 5
+
+    def test_phase_clusters_two_groups(self):
+        angles = np.array([0.0, 0.05, np.pi, np.pi + 0.05])
+        clusters = phase_clusters(angles, gap_threshold=1.0)
+        assert len(clusters) == 2
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [2, 2]
+
+    def test_phase_clusters_wraparound(self):
+        # Cluster spanning the 0/2pi seam must not be split.
+        angles = np.array([6.2, 0.05, 0.1])
+        clusters = phase_clusters(angles, gap_threshold=1.0)
+        assert len(clusters) == 1
+
+    def test_phase_clusters_empty(self):
+        assert phase_clusters(np.array([])) == []
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv",
+                         {"a": [1.0, 2.0], "b": [3.0, 4.0]},
+                         meta={"experiment": "TEST"})
+        data = read_csv(path)
+        np.testing.assert_allclose(data["a"], [1.0, 2.0])
+        np.testing.assert_allclose(data["b"], [3.0, 4.0])
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("# ")
+        assert json.loads(first[2:])["experiment"] == "TEST"
+
+    def test_csv_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="lengths"):
+            write_csv(tmp_path / "x.csv", {"a": [1], "b": [1, 2]})
+
+    def test_csv_empty_columns_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="one column"):
+            write_csv(tmp_path / "x.csv", {})
+
+    def test_json_numpy_conversion(self, tmp_path):
+        path = write_json(tmp_path / "y.json",
+                          {"arr": np.arange(3), "val": np.float64(1.5)})
+        payload = json.loads(path.read_text())
+        assert payload["arr"] == [0, 1, 2]
+        assert payload["val"] == 1.5
+
+    def test_matrix_roundtrip(self, tmp_path):
+        m = np.arange(12.0).reshape(4, 3)
+        path = write_matrix(tmp_path / "m.csv", m)
+        data = read_csv(path)
+        np.testing.assert_allclose(data["c1"], m[:, 1])
+
+    def test_matrix_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_matrix(tmp_path / "m.csv", np.zeros(4))
+
+    def test_directories_created(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "nested" / "f.csv",
+                         {"a": [1.0]})
+        assert path.exists()
