@@ -1,0 +1,175 @@
+"""Dense vs. sparse vs. batched backend benchmark — JSON artefact writer.
+
+Measures the three claims of the backend layer:
+
+1. **RHS speedup** — one Eq. 2 evaluation on a nearest-neighbour ring at
+   N = 4096: the O(E) edge-list kernel vs. the O(N^2) dense reference.
+2. **Batched RHS throughput** — an 8-member super-state evaluation vs.
+   8 separate sparse evaluations.
+3. **Ensemble wall-clock** — ``run_ensemble`` over 8 seeds, sequential
+   vs. ``batched=True``.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --out BENCH_backends.json
+
+``--quick`` shrinks the problem sizes for CI smoke jobs.  The JSON
+artefact records the numbers so the perf trajectory is tracked from PR
+to PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from statistics import median
+
+import numpy as np
+
+from repro.backends import BatchedBackend
+from repro.core import (
+    GaussianJitter,
+    PhysicalOscillatorModel,
+    TanhPotential,
+    ring,
+    run_ensemble,
+)
+
+
+def _time(fn, repeats: int) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(median(times))
+
+
+def bench_rhs(n: int, repeats: int) -> dict:
+    """Single-state RHS: dense vs. sparse on a ring of size ``n``."""
+    model = PhysicalOscillatorModel(
+        topology=ring(n, (1, -1)), potential=TanhPotential(),
+        t_comp=0.9, t_comm=0.1)
+    dense = model.realize(10.0, rng=0, backend="dense")
+    sparse = model.realize(10.0, rng=0, backend="sparse")
+    theta = np.random.default_rng(0).normal(0.0, 1.0, n)
+
+    # Warm up + correctness guard.
+    np.testing.assert_allclose(sparse.rhs(0.0, theta), dense.rhs(0.0, theta),
+                               rtol=1e-12, atol=1e-12)
+    t_dense = _time(lambda: dense.rhs(0.0, theta), repeats)
+    t_sparse = _time(lambda: sparse.rhs(0.0, theta), repeats)
+    return {
+        "n": n,
+        "n_edges": model.topology.n_edges,
+        "dense_s": t_dense,
+        "sparse_s": t_sparse,
+        "speedup_sparse_vs_dense": t_dense / t_sparse,
+    }
+
+
+def bench_batched_rhs(n: int, r: int, repeats: int) -> dict:
+    """Batched super-state RHS vs. R separate sparse evaluations."""
+    model = PhysicalOscillatorModel(
+        topology=ring(n, (1, -1)), potential=TanhPotential(),
+        t_comp=0.9, t_comm=0.1,
+        local_noise=GaussianJitter(std=0.02, refresh=0.5))
+    members = [model.realize(10.0, rng=s, backend="sparse")
+               for s in range(r)]
+    stacked = BatchedBackend(members)
+    thetas = np.random.default_rng(1).normal(0.0, 1.0, (r, n))
+
+    ref = np.stack([m.rhs(0.0, thetas[i]) for i, m in enumerate(members)])
+    np.testing.assert_allclose(stacked.rhs(0.0, thetas), ref,
+                               rtol=1e-12, atol=1e-12)
+    t_loop = _time(
+        lambda: [m.rhs(0.0, thetas[i]) for i, m in enumerate(members)],
+        repeats)
+    t_batched = _time(lambda: stacked.rhs(0.0, thetas), repeats)
+    return {
+        "n": n,
+        "members": r,
+        "member_loop_s": t_loop,
+        "batched_s": t_batched,
+        "speedup_batched_vs_loop": t_loop / t_batched,
+    }
+
+
+def bench_ensemble(n: int, r: int, t_end: float, repeats: int) -> dict:
+    """Full ``run_ensemble`` wall-clock: sequential vs. batched."""
+    model = PhysicalOscillatorModel(
+        topology=ring(n, (1, -1)), potential=TanhPotential(),
+        t_comp=0.9, t_comm=0.1,
+        local_noise=GaussianJitter(std=0.02, refresh=0.5))
+    metrics = {"final_spread": lambda tr: float(np.ptp(tr.final_phases))}
+    seeds = tuple(range(r))
+
+    t_seq = _time(lambda: run_ensemble(model, t_end, metrics, seeds=seeds),
+                  repeats)
+    t_bat = _time(lambda: run_ensemble(model, t_end, metrics, seeds=seeds,
+                                       batched=True), repeats)
+    return {
+        "n": n,
+        "seeds": r,
+        "t_end": t_end,
+        "sequential_s": t_seq,
+        "batched_s": t_bat,
+        "speedup_batched_vs_sequential": t_seq / t_bat,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--out", default="BENCH_backends.json",
+                   help="output JSON path")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller sizes for CI smoke jobs")
+    p.add_argument("--rhs-n", type=int, default=None,
+                   help="override ring size for the RHS case")
+    args = p.parse_args(argv)
+
+    rhs_n = args.rhs_n or (1024 if args.quick else 4096)
+    repeats = 5 if args.quick else 11
+    ens_n = 64 if args.quick else 128
+    ens_t = 10.0 if args.quick else 30.0
+
+    result = {
+        "benchmark": "backends",
+        "quick": args.quick,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "rhs_ring": bench_rhs(rhs_n, repeats),
+        "batched_rhs": bench_batched_rhs(rhs_n, 8, repeats),
+        "ensemble": bench_ensemble(ens_n, 8, ens_t, 3),
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    rr = result["rhs_ring"]
+    br = result["batched_rhs"]
+    er = result["ensemble"]
+    print(f"RHS ring N={rr['n']}: dense {rr['dense_s'] * 1e3:.2f} ms, "
+          f"sparse {rr['sparse_s'] * 1e3:.3f} ms "
+          f"=> {rr['speedup_sparse_vs_dense']:.1f}x")
+    print(f"batched RHS N={br['n']} R={br['members']}: "
+          f"loop {br['member_loop_s'] * 1e3:.3f} ms, "
+          f"batched {br['batched_s'] * 1e3:.3f} ms "
+          f"=> {br['speedup_batched_vs_loop']:.1f}x")
+    print(f"ensemble N={er['n']} seeds={er['seeds']} t_end={er['t_end']}: "
+          f"sequential {er['sequential_s']:.2f} s, "
+          f"batched {er['batched_s']:.2f} s "
+          f"=> {er['speedup_batched_vs_sequential']:.1f}x")
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

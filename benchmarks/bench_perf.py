@@ -8,11 +8,14 @@ running the parallel program it models.
 import numpy as np
 import pytest
 
+from repro.backends import BatchedBackend
 from repro.core import (
     BottleneckPotential,
+    GaussianJitter,
     PhysicalOscillatorModel,
     TanhPotential,
     ring,
+    run_ensemble,
     simulate,
 )
 from repro.integrate import solve_dopri45, solve_rk4
@@ -47,6 +50,53 @@ def test_rhs_evaluation_n400(benchmark):
     theta = np.random.default_rng(0).normal(0, 1, 400)
     out = benchmark(realized.rhs, 0.0, theta)
     assert out.shape == (400,)
+
+
+@pytest.mark.benchmark(group="perf-backends")
+@pytest.mark.parametrize("backend", ["dense", "sparse"])
+def test_rhs_backend_ring_n4096(benchmark, backend):
+    """Eq. 2 RHS on a ring at N = 4096: O(N^2) dense vs. O(E) edge-list.
+
+    The ring has only 2 edges per row, so the sparse kernel should win
+    by orders of magnitude (the ISSUE target is >= 10x)."""
+    model = PhysicalOscillatorModel(
+        topology=ring(4096, (1, -1)), potential=TanhPotential(),
+        t_comp=0.9, t_comm=0.1)
+    realized = model.realize(10.0, rng=0, backend=backend)
+    theta = np.random.default_rng(0).normal(0, 1, 4096)
+    out = benchmark.pedantic(realized.rhs, args=(0.0, theta),
+                             rounds=5, iterations=1)
+    assert out.shape == (4096,)
+
+
+@pytest.mark.benchmark(group="perf-backends")
+def test_rhs_batched_super_state(benchmark):
+    """One batched (R=8, N=4096) super-state RHS evaluation."""
+    model = PhysicalOscillatorModel(
+        topology=ring(4096, (1, -1)), potential=TanhPotential(),
+        t_comp=0.9, t_comm=0.1)
+    stacked = BatchedBackend([model.realize(10.0, rng=s) for s in range(8)])
+    thetas = np.random.default_rng(0).normal(0, 1, (8, 4096))
+    out = benchmark.pedantic(stacked.rhs, args=(0.0, thetas),
+                             rounds=5, iterations=1)
+    assert out.shape == (8, 4096)
+
+
+@pytest.mark.benchmark(group="perf-backends")
+@pytest.mark.parametrize("batched", [False, True], ids=["sequential", "batched"])
+def test_ensemble_wall_clock(benchmark, batched):
+    """8-seed ensemble wall-clock: one-seed-at-a-time vs. super-state."""
+    model = PhysicalOscillatorModel(
+        topology=ring(64, (1, -1)), potential=TanhPotential(),
+        t_comp=0.9, t_comm=0.1,
+        local_noise=GaussianJitter(std=0.02, refresh=0.5))
+    metrics = {"spread": lambda tr: float(np.ptp(tr.final_phases))}
+
+    res = benchmark.pedantic(
+        lambda: run_ensemble(model, 10.0, metrics, seeds=tuple(range(8)),
+                             batched=batched),
+        rounds=3, iterations=1)
+    assert res.values["spread"].shape == (8,)
 
 
 @pytest.mark.benchmark(group="perf-solver")

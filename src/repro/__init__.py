@@ -12,9 +12,13 @@ Packages
     The paper's contribution: the coupled-oscillator model (Eq. 2) with
     scalable/bottlenecked interaction potentials, sparse communication
     topologies, the beta*kappa coupling rule, and both noise channels.
+:mod:`repro.backends`
+    Pluggable RHS compute backends: dense-matrix reference, O(E)
+    sparse edge-list kernels, and batched ensemble evaluation.
 :mod:`repro.integrate`
     From-scratch ODE/SDE/DDE solvers (Dormand-Prince 5(4), RK4, Euler,
-    Euler-Maruyama, delay-history buffers).
+    Euler-Maruyama, delay-history buffers); shape-agnostic, so whole
+    seed ensembles integrate as stacked ``(R, N)`` super-states.
 :mod:`repro.simulator`
     A discrete-event MPI cluster simulator (the validation substrate
     replacing the paper's Meggie runs): Irecv/Send/Waitall semantics,
@@ -44,9 +48,9 @@ Quickstart
 16
 """
 
-from . import analysis, core, integrate, metrics, simulator
+from . import analysis, backends, core, integrate, metrics, simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["analysis", "core", "integrate", "metrics", "simulator",
-           "__version__"]
+__all__ = ["analysis", "backends", "core", "integrate", "metrics",
+           "simulator", "__version__"]

@@ -1,0 +1,94 @@
+"""Common machinery for the RHS compute backends.
+
+A *backend* compiles a :class:`~repro.core.model.RealizedModel` into an
+evaluator for the right-hand side of Eq. 2,
+
+    dtheta_i/dt = 2*pi/(T + zeta_i(t) + ...)                (intrinsic)
+                + (v_p/N) * sum_j T_ij V(theta_j^(del) - theta_i),
+
+splitting the work into the *intrinsic frequency* (noise channels, shared
+by every backend) and the *coupling term* (topology-dependent — this is
+where the backends differ: dense matrix algebra vs. edge-list kernels vs.
+batched super-states).
+
+Backends are stateless with respect to the trajectory: they only read the
+frozen noise realisation, so an adaptive solver may evaluate them at any
+time, repeatedly, in any order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..core.model import RealizedModel
+    from ..integrate.history import HistoryBuffer
+
+__all__ = ["RHSBackend", "frequency_from_period"]
+
+
+def frequency_from_period(denom: np.ndarray) -> np.ndarray:
+    """``2*pi / denom`` with stalled processes mapped to frequency 0.
+
+    A non-positive or infinite effective period means the process does
+    not advance (the exact semantics of a full-stall injection).  Works
+    on arrays of any shape — the batched backend feeds ``(R, N)``.
+    """
+    freq = np.zeros_like(denom, dtype=float)
+    good = np.isfinite(denom) & (denom > 0.0)
+    freq[good] = 2.0 * np.pi / denom[good]
+    return freq
+
+
+class RHSBackend(ABC):
+    """Compiled RHS evaluator for one frozen model realisation.
+
+    Subclasses implement :meth:`coupling`; the intrinsic-frequency part
+    is identical for every single-state backend and lives here.
+
+    Parameters
+    ----------
+    realized:
+        The frozen model whose RHS this backend evaluates.
+    """
+
+    #: identifier used by the ``backend=`` knobs and reports
+    name: str = "abstract"
+
+    def __init__(self, realized: "RealizedModel") -> None:
+        model = realized.model
+        self.realized = realized
+        self.model = model
+        self._n = model.n
+        self._period = model.period
+        self._vp_over_n = model.v_p / model.n
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of oscillators."""
+        return self._n
+
+    def intrinsic_frequency(self, t: float) -> np.ndarray:
+        """Per-process frequency ``2*pi/(T + zeta_i(t) + delay terms)``."""
+        realized = self.realized
+        denom = (self._period + realized.zeta(t)
+                 + realized.delay_schedule(t, self._n))
+        return frequency_from_period(denom)
+
+    @abstractmethod
+    def coupling(self, t: float, theta: np.ndarray,
+                 history: "HistoryBuffer | None" = None) -> np.ndarray:
+        """Interaction term ``(v_p/N) sum_j T_ij V(theta_j^(del) - theta_i)``."""
+
+    def rhs(self, t: float, theta: np.ndarray,
+            history: "HistoryBuffer | None" = None) -> np.ndarray:
+        """Full right-hand side of Eq. 2."""
+        return self.intrinsic_frequency(t) + self.coupling(t, theta, history)
+
+    def describe(self) -> dict:
+        """Metadata dictionary used by exporters."""
+        return {"backend": self.name, "n": self._n}

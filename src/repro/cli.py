@@ -23,6 +23,7 @@ import sys
 
 import numpy as np
 
+from .backends import auto_backend_name, available_backends
 from .core import (
     OneOffDelay,
     PhysicalOscillatorModel,
@@ -83,6 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
     model_p.add_argument("--delay", type=float, default=2.0,
                          help="one-off delay duration (s)")
     model_p.add_argument("--seed", type=int, default=0)
+    model_p.add_argument("--backend", default="auto",
+                         choices=list(available_backends()),
+                         help="RHS compute backend (auto: by topology "
+                              "density)")
     model_p.add_argument("--view", default="phases",
                          choices=["phases", "circle", "summary"])
 
@@ -152,11 +157,15 @@ def _cmd_model(args: argparse.Namespace) -> int:
     theta0 = initial_from_name(args.initial, args.n) \
         if args.initial != "splayed" \
         else initial_from_name("splayed", args.n, gap=2 * args.sigma / 3)
-    traj = simulate(model, args.t_end, theta0=theta0, seed=args.seed)
+    traj = simulate(model, args.t_end, theta0=theta0, seed=args.seed,
+                    backend=args.backend)
     verdict = classify(traj.ts, traj.thetas, model.omega)
 
+    # Report the kernel that actually ran, not the "auto" request.
+    resolved = (auto_backend_name(model.topology)
+                if args.backend == "auto" else args.backend)
     print(f"N={args.n} potential={potential.name} beta*kappa="
-          f"{model.beta_kappa:g} v_p={model.v_p:g}")
+          f"{model.beta_kappa:g} v_p={model.v_p:g} backend={resolved}")
     if args.view == "circle":
         print(circle_diagram(traj.final_phases, title="asymptotic phases"))
     elif args.view == "phases":

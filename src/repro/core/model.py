@@ -35,6 +35,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backends import RHSBackend, make_backend, normalize_backend_name
 from ..integrate.history import HistoryBuffer
 from .coupling import CouplingSpec
 from .noise import (
@@ -79,6 +80,10 @@ class PhysicalOscillatorModel:
         If set, bypasses the coupling formula and uses this coupling
         strength directly (used by parameter sweeps that scan ``v_p``
         or ``beta*kappa`` continuously).
+    backend:
+        RHS compute backend: ``"auto"`` (default — pick by topology
+        density), ``"dense"`` (O(N^2) reference) or ``"sparse"``
+        (O(E) edge-list kernel).  See :mod:`repro.backends`.
     """
 
     topology: Topology
@@ -90,10 +95,12 @@ class PhysicalOscillatorModel:
     interaction_noise: InteractionNoise = field(default_factory=NoInteractionNoise)
     delays: Sequence[OneOffDelay] = ()
     v_p_override: float | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.t_comp < 0 or self.t_comm < 0:
             raise ValueError("t_comp and t_comm must be non-negative")
+        normalize_backend_name(self.backend)
         if self.t_comp + self.t_comm <= 0:
             raise ValueError("the cycle time t_comp + t_comm must be positive")
         for d in self.delays:
@@ -135,7 +142,8 @@ class PhysicalOscillatorModel:
 
     # ------------------------------------------------------------------
     def realize(self, t_end: float,
-                rng: np.random.Generator | int | None = None) -> "RealizedModel":
+                rng: np.random.Generator | int | None = None,
+                backend: str | None = None) -> "RealizedModel":
         """Freeze all stochastic channels for a concrete run.
 
         Parameters
@@ -144,6 +152,8 @@ class PhysicalOscillatorModel:
             Horizon the noise realisations must cover.
         rng:
             Generator or integer seed; ``None`` uses fresh entropy.
+        backend:
+            Per-run override of the model's ``backend`` knob.
         """
         if t_end <= 0:
             raise ValueError("t_end must be positive")
@@ -153,7 +163,9 @@ class PhysicalOscillatorModel:
         tau = self.interaction_noise.realize(self.n, t_end, rng)
         schedule = DelaySchedule(self.delays, self.period)
         return RealizedModel(model=self, zeta=zeta, tau=tau,
-                             delay_schedule=schedule)
+                             delay_schedule=schedule,
+                             backend=backend if backend is not None
+                             else self.backend)
 
     def describe(self) -> dict:
         """Metadata dictionary used by exporters."""
@@ -165,6 +177,7 @@ class PhysicalOscillatorModel:
             "omega": self.omega,
             "v_p": self.v_p,
             "beta_kappa": self.beta_kappa,
+            "backend": self.backend,
             "potential": self.potential.describe(),
             "topology": self.topology.describe(),
             "coupling": self.coupling.describe(self.topology),
@@ -180,26 +193,46 @@ class RealizedModel:
     Adaptive solvers evaluate the RHS at arbitrary, repeated times, so
     every random channel must be a function of time only — this object
     guarantees that.
+
+    The actual RHS arithmetic is delegated to a compiled compute backend
+    (:mod:`repro.backends`): dense matrix algebra, or the O(E) edge-list
+    kernel for sparse topologies (default choice is by density).
     """
 
     def __init__(self, model: PhysicalOscillatorModel, zeta: ZetaProcess,
-                 tau: TauField, delay_schedule: DelaySchedule) -> None:
+                 tau: TauField, delay_schedule: DelaySchedule,
+                 backend: str = "auto") -> None:
         self.model = model
         self.zeta = zeta
         self.tau = tau
         self.delay_schedule = delay_schedule
-        self._T = model.topology.matrix          # (n, n)
-        self._coupled = self._T != 0.0           # bool mask
-        self._row_has_edge = self._coupled.any(axis=1)
-        self._vp_over_n = model.v_p / model.n
         self._period = model.period
         self._n = model.n
+        self._backend_request = normalize_backend_name(backend)
+        self._backend: RHSBackend | None = None
 
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
         """Number of oscillators."""
         return self._n
+
+    @property
+    def backend(self) -> RHSBackend:
+        """The compiled compute backend (compiled lazily on first use).
+
+        Lazy so that consumers with their own kernels — notably the
+        batched ensemble path, which stacks many realisations — do not
+        pay for R unused single-state compilations.
+        """
+        if self._backend is None:
+            self._backend = make_backend(self, self._backend_request)
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the compiled compute backend."""
+        return self.backend.name
 
     @property
     def has_delays(self) -> bool:
@@ -218,38 +251,12 @@ class RealizedModel:
         (a fully stalled process), which is the exact meaning of a
         one-off full-stall injection.
         """
-        denom = self._period + self.zeta(t) + self.delay_schedule(t, self._n)
-        freq = np.zeros(self._n)
-        good = np.isfinite(denom) & (denom > 0.0)
-        freq[good] = 2.0 * np.pi / denom[good]
-        return freq
+        return self.backend.intrinsic_frequency(t)
 
     def coupling_term(self, t: float, theta: np.ndarray,
                       history: HistoryBuffer | None = None) -> np.ndarray:
         """Interaction term ``(v_p/N) * sum_j T_ij V(theta_j^(del) - theta_i)``."""
-        if self._vp_over_n == 0.0:
-            return np.zeros(self._n)
-
-        if not self.has_delays or history is None:
-            dmat = theta[None, :] - theta[:, None]     # d[i, j] = th_j - th_i
-            vmat = np.asarray(self.model.potential(dmat), dtype=float)
-            return self._vp_over_n * (self._T * vmat).sum(axis=1)
-
-        # Delayed partner phases: evaluate the history once per distinct
-        # delay value (tau fields are piecewise constant with few levels).
-        tau_now = self.tau(t)
-        dmat = np.empty((self._n, self._n))
-        uniq = np.unique(tau_now[self._coupled]) if self._coupled.any() else []
-        dmat[:] = theta[None, :] - theta[:, None]
-        for v in uniq:
-            if v == 0.0:
-                continue
-            delayed = history(t - float(v))            # theta vector at t - v
-            mask = self._coupled & (tau_now == v)
-            jj = np.nonzero(mask)[1]
-            dmat[mask] = delayed[jj] - theta[np.nonzero(mask)[0]]
-        vmat = np.asarray(self.model.potential(dmat), dtype=float)
-        return self._vp_over_n * (self._T * vmat).sum(axis=1)
+        return self.backend.coupling(t, theta, history)
 
     def rhs(self, t: float, theta: np.ndarray,
             history: HistoryBuffer | None = None) -> np.ndarray:

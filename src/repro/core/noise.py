@@ -375,6 +375,7 @@ class TauField:
             raise ValueError("delays must be non-negative")
         self.values = values
         self.dt = float(dt)
+        self._is_zero = bool(np.all(values == 0.0))
 
     @property
     def n(self) -> int:
@@ -393,8 +394,12 @@ class TauField:
 
     @property
     def is_zero(self) -> bool:
-        """True when the field never delays (pure-ODE fast path)."""
-        return bool(np.all(self.values == 0.0))
+        """True when the field never delays (pure-ODE fast path).
+
+        Cached at construction: the RHS backends consult this on every
+        evaluation, and the field is immutable once realised.
+        """
+        return self._is_zero
 
 
 class InteractionNoise(ABC):

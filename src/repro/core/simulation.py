@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..backends import BatchedBackend, frequency_from_period
 from ..integrate import (
     HistoryBuffer,
     solve_dopri45,
@@ -35,7 +36,7 @@ from .model import KuramotoModel, PhysicalOscillatorModel, RealizedModel
 from .noise import GaussianJitter, NoNoise
 from .trajectory import OscillatorTrajectory
 
-__all__ = ["simulate", "simulate_kuramoto", "default_dt"]
+__all__ = ["simulate", "simulate_batched", "simulate_kuramoto", "default_dt"]
 
 
 def default_dt(model: PhysicalOscillatorModel, safety: float = 50.0) -> float:
@@ -74,6 +75,7 @@ def simulate(
     atol: float = 1e-9,
     seed: int | None = None,
     n_samples: int | None = None,
+    backend: str | None = None,
 ) -> OscillatorTrajectory:
     """Integrate the POM from 0 to ``t_end``.
 
@@ -97,6 +99,9 @@ def simulate(
     n_samples:
         If set, the returned trajectory is resampled onto a uniform mesh
         of this many points (adaptive meshes are irregular).
+    backend:
+        RHS compute backend override (``"auto"`` | ``"dense"`` |
+        ``"sparse"``); default: the model's own ``backend`` knob.
 
     Returns
     -------
@@ -109,7 +114,7 @@ def simulate(
     if theta0.shape != (model.n,):
         raise ValueError(f"theta0 has shape {theta0.shape}, expected ({model.n},)")
 
-    realized = model.realize(t_end, rng=seed)
+    realized = model.realize(t_end, rng=seed, backend=backend)
     if dt is None:
         dt = default_dt(model)
 
@@ -137,6 +142,108 @@ def simulate(
     if n_samples is not None:
         traj = traj.resample(n_samples)
     return traj
+
+
+def simulate_batched(
+    model: PhysicalOscillatorModel,
+    t_end: float,
+    *,
+    seeds: Sequence[int],
+    theta0_factory=None,
+    method: str = "dopri",
+    dt: float | None = None,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    n_samples: int | None = None,
+    backend: str | None = None,
+) -> list[OscillatorTrajectory]:
+    """Integrate a whole seed ensemble as one ``(R, N)`` super-state.
+
+    Realises the model once per seed, stacks the members, evaluates all
+    RHSs through the vectorised :class:`~repro.backends.BatchedBackend`,
+    and runs a *single* solver pass.  This amortises the per-step Python
+    overhead over all members and replaces R small coupling kernels with
+    one large one.  The shared adaptive mesh is controlled by the worst
+    member's error norm, so every member individually satisfies the
+    tolerances (see :func:`repro.integrate.controller.error_norm`).
+
+    Parameters mirror :func:`simulate`, except:
+
+    seeds:
+        One noise-realisation seed per ensemble member.
+    theta0_factory:
+        Optional per-seed initial condition, ``f(seed) -> (n,)``.
+    method:
+        ``"dopri"`` | ``"rk4"`` | ``"euler"``.  (``"em"`` is not
+        batchable — its noise is drawn inside the solver loop.)
+
+    Returns
+    -------
+    list[OscillatorTrajectory]
+        One trajectory per seed, in seed order, all on the shared mesh.
+    """
+    if t_end <= 0:
+        raise ValueError("t_end must be positive")
+    if len(seeds) == 0:
+        raise ValueError("need at least one seed")
+    if method == "em":
+        raise ValueError(
+            'method "em" draws noise inside the solver loop and cannot be '
+            "batched; use the sequential path"
+        )
+
+    members = [model.realize(t_end, rng=seed, backend=backend)
+               for seed in seeds]
+    stacked = BatchedBackend(members)
+    theta0s = np.stack([
+        (synchronized(model.n) if theta0_factory is None
+         else np.asarray(theta0_factory(seed), dtype=float))
+        for seed in seeds
+    ])
+    if theta0s.shape != (len(seeds), model.n):
+        raise ValueError(
+            f"stacked theta0 has shape {theta0s.shape}, "
+            f"expected ({len(seeds)}, {model.n})"
+        )
+    if dt is None:
+        dt = default_dt(model)
+
+    if stacked.has_delays:
+        history = HistoryBuffer(0.0, theta0s)
+        rhs = stacked.make_dde_rhs(history)
+        history._fs[0] = rhs(0.0, theta0s)
+
+        def cb(t: float, y: np.ndarray) -> None:
+            history.append(t, y, rhs(t, y))
+
+        sol = solve_rk4(rhs, (0.0, t_end), theta0s, dt=dt, step_callback=cb)
+    elif method == "dopri":
+        max_step = _noise_feature_dt(model) / 2.0
+        sol = solve_dopri45(stacked.make_ode_rhs(), (0.0, t_end), theta0s,
+                            rtol=rtol, atol=atol,
+                            max_step=max_step if np.isfinite(max_step) else np.inf)
+    elif method == "rk4":
+        sol = solve_rk4(stacked.make_ode_rhs(), (0.0, t_end), theta0s, dt=dt)
+    elif method == "euler":
+        sol = solve_euler(stacked.make_ode_rhs(), (0.0, t_end), theta0s, dt=dt)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    if not sol.success:
+        raise RuntimeError(f"batched integration failed: {sol.message}")
+
+    trajs = []
+    for r, seed in enumerate(seeds):
+        # Per-member slice of the super-state; the batched Solution's
+        # dense output has the wrong shape for a single member, so
+        # resampling falls back to mesh interpolation (solution=None).
+        traj = OscillatorTrajectory(ts=sol.ts, thetas=sol.ys[:, r, :],
+                                    model=model, solution=None,
+                                    seed=int(seed))
+        if n_samples is not None:
+            traj = traj.resample(n_samples)
+        trajs.append(traj)
+    return trajs
 
 
 def _solve_dde(realized: RealizedModel, t_end: float, theta0: np.ndarray,
@@ -171,18 +278,10 @@ def _solve_em(model: PhysicalOscillatorModel, realized: RealizedModel,
     period = model.period
     n = model.n
     sched = realized.delay_schedule
-    vp_over_n = model.v_p / n
-    tmat = model.topology.matrix
-    potential = model.potential
 
     def drift(t: float, theta: np.ndarray) -> np.ndarray:
-        denom = period + sched(t, n)
-        freq = np.zeros(n)
-        good = np.isfinite(denom) & (denom > 0)
-        freq[good] = 2.0 * np.pi / denom[good]
-        dmat = theta[None, :] - theta[:, None]
-        vmat = np.asarray(potential(dmat), dtype=float)
-        return freq + vp_over_n * (tmat * vmat).sum(axis=1)
+        freq = frequency_from_period(period + sched(t, n))
+        return freq + realized.coupling_term(t, theta)
 
     def diffusion(t: float, theta: np.ndarray) -> np.ndarray:
         return np.full(n, amp)

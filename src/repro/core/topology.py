@@ -75,6 +75,8 @@ class Topology:
                              "(no self-coupling)")
         self.matrix = m
         self.distances = tuple(int(d) for d in self.distances)
+        self._edge_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._csr_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -91,6 +93,42 @@ class Topology:
     def is_symmetric(self) -> bool:
         """True if coupling is bidirectional everywhere."""
         return bool(np.array_equal(self.matrix, self.matrix.T))
+
+    @property
+    def density(self) -> float:
+        """Edge fraction ``E / N^2`` — drives the auto backend choice."""
+        n = self.n
+        return float(self.n_edges) / float(n * n) if n else 0.0
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """Directed edges as ``(rows, cols)`` index arrays (cached).
+
+        Row-major order (sorted by row, then column), which makes the
+        sparse backend's segment sums accumulate contributions in the
+        same order as the dense row sum.  The arrays are read-only views
+        shared by every compiled backend — do not mutate them.
+        """
+        if self._edge_cache is None:
+            rows, cols = np.nonzero(self.matrix)
+            rows.setflags(write=False)
+            cols.setflags(write=False)
+            self._edge_cache = (rows, cols)
+        return self._edge_cache
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR view ``(indptr, indices)`` of the coupling matrix (cached).
+
+        ``indices[indptr[i]:indptr[i+1]]`` are the partners of oscillator
+        ``i`` — the compressed form of :meth:`neighbors` for kernels that
+        iterate rows.
+        """
+        if self._csr_cache is None:
+            rows, cols = self.edge_list()
+            counts = np.bincount(rows, minlength=self.n)
+            indptr = np.concatenate(([0], np.cumsum(counts)))
+            indptr.setflags(write=False)
+            self._csr_cache = (indptr, cols)
+        return self._csr_cache
 
     def degree(self) -> np.ndarray:
         """Out-degree (number of partners) of each oscillator."""
@@ -182,6 +220,7 @@ class Topology:
             "distances": list(self.distances),
             "periodic": self.periodic,
             "n_edges": self.n_edges,
+            "density": self.density,
             "kappa_sum": self.kappa(waitall_grouped=False),
             "kappa_max": self.kappa(waitall_grouped=True),
         }

@@ -26,10 +26,20 @@ def error_norm(err_vec: np.ndarray, y_old: np.ndarray, y_new: np.ndarray,
     """Scaled RMS norm of the local error estimate.
 
     A value <= 1 means the step satisfies the tolerances.
+
+    Shape-agnostic: 1-D states reduce over the whole vector.  For
+    stacked states of shape ``(..., N)`` — e.g. the ``(R, N)``
+    super-state of a batched seed ensemble — the RMS is taken per
+    member (over the last axis) and the *worst* member's norm is
+    returned, so every ensemble member individually satisfies the
+    tolerances.
     """
     scale = atol + rtol * np.maximum(np.abs(y_old), np.abs(y_new))
     ratio = err_vec / scale
-    return float(np.sqrt(np.mean(ratio * ratio)))
+    sq = ratio * ratio
+    if sq.ndim <= 1:
+        return float(np.sqrt(np.mean(sq)))
+    return float(np.sqrt(np.mean(sq, axis=-1)).max())
 
 
 @dataclass

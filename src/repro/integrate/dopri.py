@@ -61,6 +61,18 @@ _D = np.array([
 ])
 
 
+def _contract(w: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """Weighted sum of stage derivatives: ``sum_m w[m] * k[m]``.
+
+    Shape-agnostic over the state: ``k`` is ``(m, *state_shape)``; the
+    trailing axes are flattened so the contraction is a single BLAS
+    vector-matrix product (much cheaper than ``np.tensordot`` for the
+    small stage counts used here).
+    """
+    m = w.shape[0]
+    return (w @ k.reshape(m, -1)).reshape(k.shape[1:])
+
+
 class _DenseOutput:
     """Piecewise DOPRI interpolant (Hairer's CONTD5) over the mesh.
 
@@ -81,15 +93,18 @@ class _DenseOutput:
 
     def __call__(self, t: np.ndarray) -> np.ndarray:
         t = np.atleast_1d(np.asarray(t, dtype=float))
-        out = np.empty((t.shape[0], self.ys.shape[1]), dtype=float)
+        state_shape = self.ys.shape[1:]
+        out = np.empty((t.shape[0],) + state_shape, dtype=float)
         # Segment index for each query point.
         idx = np.searchsorted(self.ts, t, side="right") - 1
         idx = np.clip(idx, 0, len(self.qs) - 1)
+        # Broadcast sigma against states of any rank (1-D or batched).
+        s_shape = (-1,) + (1,) * len(state_shape)
         for seg in np.unique(idx):
             mask = idx == seg
             t0, t1 = self.ts[seg], self.ts[seg + 1]
             h = t1 - t0
-            s = ((t[mask] - t0) / h)[:, None]
+            s = ((t[mask] - t0) / h).reshape(s_shape)
             s1 = 1.0 - s
             r1, r2, r3, r4, r5 = self.qs[seg]
             out[mask] = r1 + s * (r2 + s1 * (r3 + s * (r4 + s1 * r5)))
@@ -110,7 +125,7 @@ def _dense_coefficients(h: float, y0: np.ndarray, y1: np.ndarray,
     r2 = ydiff
     r3 = bspl
     r4 = ydiff - h * k[6] - bspl
-    r5 = h * (_D @ k)
+    r5 = h * _contract(_D, k)
     return np.stack([r1, r2, r3, r4, r5], axis=0)
 
 
@@ -167,22 +182,24 @@ def solve_dopri45(
     if not t_end > t0:
         raise ValueError(f"need t_end > t0, got {t_span!r}")
     y = np.asarray(y0, dtype=float).copy()
-    if y.ndim != 1:
-        raise ValueError("y0 must be one-dimensional")
-    n = y.shape[0]
+    if y.ndim < 1:
+        raise ValueError("y0 must have at least one dimension")
+    # States may be 1-D vectors or stacked ensembles of shape (R, N);
+    # all tableau arithmetic below is shape-agnostic.
+    state_shape = y.shape
 
     stats = SolverStats()
 
     def rhs(t: float, yy: np.ndarray) -> np.ndarray:
         stats.n_rhs += 1
         out = np.asarray(f(t, yy), dtype=float)
-        if out.shape != (n,):
+        if out.shape != state_shape:
             raise ValueError(
-                f"RHS returned shape {out.shape}, expected {(n,)}"
+                f"RHS returned shape {out.shape}, expected {state_shape}"
             )
         return out
 
-    k = np.empty((7, n), dtype=float)
+    k = np.empty((7,) + state_shape, dtype=float)
     k[0] = rhs(t0, y)
 
     if first_step is not None:
@@ -217,10 +234,10 @@ def solve_dopri45(
 
         # --- one attempted step -------------------------------------
         for i in range(1, 7):
-            yi = y + h * (DOPRI_A[i, :i] @ k[:i])
+            yi = y + h * _contract(DOPRI_A[i, :i], k[:i])
             k[i] = rhs(t + DOPRI_C[i] * h, yi)
-        y_new = y + h * (DOPRI_B5 @ k)
-        err_vec = h * np.abs((DOPRI_B5 - DOPRI_B4) @ k)
+        y_new = y + h * _contract(DOPRI_B5, k)
+        err_vec = h * np.abs(_contract(DOPRI_B5 - DOPRI_B4, k))
         err = error_norm(err_vec, y, y_new, rtol, atol)
 
         if err <= 1.0:

@@ -95,7 +95,6 @@ def solve_euler_maruyama(
         rng = np.random.default_rng()
 
     y = np.asarray(y0, dtype=float).copy()
-    n = y.shape[0]
     stats = SolverStats()
     n_full = int(np.floor((t_end - t0) / dt + 1e-12))
     remainder = (t_end - t0) - n_full * dt
@@ -107,7 +106,7 @@ def solve_euler_maruyama(
         h = dt if i < n_full else remainder
         drift = np.asarray(f(t, y), dtype=float)
         diff = np.asarray(g(t, y), dtype=float)
-        dw = rng.standard_normal(n) * np.sqrt(h)
+        dw = rng.standard_normal(y.shape) * np.sqrt(h)
         y = y + h * drift + diff * dw
         t = t + h
         stats.n_rhs += 1

@@ -147,8 +147,15 @@ class Solution:
 
 
 def _interp_rows(t: np.ndarray, ts: np.ndarray, ys: np.ndarray) -> np.ndarray:
-    """Piecewise-linear interpolation of each state component."""
-    out = np.empty((t.shape[0], ys.shape[1]), dtype=float)
-    for k in range(ys.shape[1]):
-        out[:, k] = np.interp(t, ts, ys[:, k])
-    return out
+    """Piecewise-linear interpolation of each state component.
+
+    Works for states of any rank: trailing axes are flattened, each
+    component is interpolated independently, and the state shape is
+    restored (covers the ``(R, N)`` super-states of batched ensembles).
+    """
+    state_shape = ys.shape[1:]
+    flat = ys.reshape(ys.shape[0], -1)
+    out = np.empty((t.shape[0], flat.shape[1]), dtype=float)
+    for k in range(flat.shape[1]):
+        out[:, k] = np.interp(t, ts, flat[:, k])
+    return out.reshape((t.shape[0],) + state_shape)

@@ -91,9 +91,18 @@ class TestAPIBehaviour:
         with pytest.raises(ValueError, match="t_end > t0"):
             solve_dopri45(lambda t, y: -y, (5.0, 0.0), [1.0])
 
-    def test_rejects_2d_initial_state(self):
-        with pytest.raises(ValueError, match="one-dimensional"):
-            solve_dopri45(lambda t, y: -y, (0.0, 1.0), [[1.0, 2.0]])
+    def test_accepts_stacked_2d_initial_state(self):
+        # Shape-agnostic states: a (R, N) stack integrates member-wise
+        # (the batched-ensemble super-state path).
+        y0 = np.array([[1.0, 2.0], [3.0, 4.0]])
+        sol = solve_dopri45(lambda t, y: -y, (0.0, 1.0), y0)
+        assert sol.success
+        assert sol.ys.shape[1:] == (2, 2)
+        np.testing.assert_allclose(sol.ys[-1], np.exp(-1.0) * y0, rtol=1e-5)
+
+    def test_rejects_scalar_initial_state(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            solve_dopri45(lambda t, y: -y, (0.0, 1.0), np.asarray(1.0))
 
     def test_rejects_bad_rhs_shape(self):
         with pytest.raises(ValueError, match="RHS returned shape"):
