@@ -13,6 +13,11 @@ into an evaluator of the Eq. 2 right-hand side.  Three implementations:
 * :class:`BatchedBackend` — evaluates R stacked realisations ``(R, N)``
   in one vectorised call so a whole seed ensemble integrates as a
   single super-state (used by ``run_ensemble(batched=True)``).
+* :class:`HeteroBatchedBackend` — the heterogeneous generalisation:
+  members may differ in ``v_p``, period, potential, and delay schedule
+  (only the topology is shared), so a whole *parameter grid* integrates
+  as one super-state (used by ``grid_sweep(..., batched=True)`` and
+  :func:`repro.core.simulation.simulate_grid`).
 
 Selection
 ---------
@@ -22,15 +27,21 @@ of the matrix entries are edges.  ``"dense"`` / ``"sparse"`` force a
 choice (the declarative knob is ``PhysicalOscillatorModel.backend``, and
 ``simulate(..., backend=...)`` / ``pom model --backend`` override it per
 run).
+
+Batched (multi-member) backends have their own registry:
+``make_batched_backend(members, "auto")`` picks the strict homogeneous
+:class:`BatchedBackend` when all members realise one declarative model
+and falls back to :class:`HeteroBatchedBackend` otherwise.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from .base import RHSBackend, frequency_from_period
 from .batched import BatchedBackend
 from .dense import DenseBackend
+from .hetero import HeteroBatchedBackend
 from .sparse import SparseBackend
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,19 +52,28 @@ __all__ = [
     "DenseBackend",
     "SparseBackend",
     "BatchedBackend",
+    "HeteroBatchedBackend",
     "frequency_from_period",
     "BACKENDS",
+    "BATCHED_BACKENDS",
     "SPARSE_DENSITY_THRESHOLD",
     "available_backends",
     "auto_backend_name",
     "normalize_backend_name",
     "make_backend",
+    "make_batched_backend",
 ]
 
 #: registry of single-state backends selectable by name
 BACKENDS: dict[str, type[RHSBackend]] = {
     DenseBackend.name: DenseBackend,
     SparseBackend.name: SparseBackend,
+}
+
+#: registry of multi-member (stacked super-state) backends
+BATCHED_BACKENDS: dict[str, type[HeteroBatchedBackend]] = {
+    BatchedBackend.name: BatchedBackend,
+    HeteroBatchedBackend.name: HeteroBatchedBackend,
 }
 
 #: edge fraction below which "auto" prefers the edge-list kernel
@@ -94,3 +114,28 @@ def make_backend(realized: "RealizedModel", name: str = "auto") -> RHSBackend:
     if key == "auto":
         key = auto_backend_name(realized.model.topology)
     return BACKENDS[key](realized)
+
+
+def make_batched_backend(members: Sequence["RealizedModel"],
+                         name: str = "auto") -> HeteroBatchedBackend:
+    """Compile a stack of realisations into one multi-member backend.
+
+    ``"auto"`` prefers the strict homogeneous :class:`BatchedBackend`
+    (its validation guarantees every member realises the same
+    declarative model) and falls back to the general
+    :class:`HeteroBatchedBackend` when the members form a parameter
+    grid.  Explicit names force a choice.
+    """
+    if name == "auto":
+        try:
+            return BatchedBackend(members)
+        except ValueError:
+            if len(members) == 0:
+                raise
+            return HeteroBatchedBackend(members)
+    if name not in BATCHED_BACKENDS:
+        raise ValueError(
+            f"unknown batched backend {name!r}; available: "
+            f"auto, {', '.join(sorted(BATCHED_BACKENDS))}"
+        )
+    return BATCHED_BACKENDS[name](members)

@@ -17,6 +17,12 @@ backend's, each row of the batched result matches the corresponding
 single-member evaluation to machine precision; a whole ensemble can thus
 be integrated as one super-state by any shape-agnostic solver (see
 :func:`repro.core.simulation.simulate_batched`).
+
+The kernels live in :class:`~repro.backends.hetero.HeteroBatchedBackend`
+(which additionally supports per-member parameters for grid sweeps);
+this subclass pins down the *homogeneous* contract: all members must
+realise one declarative model, and mismatches fail loudly instead of
+batching silently.
 """
 
 from __future__ import annotations
@@ -25,25 +31,26 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from .base import frequency_from_period
+from .hetero import HeteroBatchedBackend
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.model import RealizedModel
-    from ..integrate.history import HistoryBuffer
 
 __all__ = ["BatchedBackend"]
 
 
-class BatchedBackend:
+class BatchedBackend(HeteroBatchedBackend):
     """Vectorised RHS over a stack of realisations of one model.
 
     Parameters
     ----------
     members:
         Frozen realisations, all of the same declarative model (same
-        topology, potential, and coupling strength — only the noise
-        realisations differ).  States are ``(R, N)`` arrays with one row
-        per member.
+        topology, potential, coupling strength, and delay schedule —
+        only the noise realisations differ).  States are ``(R, N)``
+        arrays with one row per member.  Use
+        :class:`~repro.backends.hetero.HeteroBatchedBackend` when the
+        members are *different* models (a parameter grid).
     """
 
     name = "batched"
@@ -66,123 +73,7 @@ class BatchedBackend:
             if mm.potential is not first.potential and (
                     mm.potential.describe() != first.potential.describe()):
                 raise ValueError("ensemble members disagree on the potential")
-            # intrinsic_frequency broadcasts member 0's (deterministic)
-            # one-off delay schedule, so all members must share it.
             if m.delay_schedule.delays != members[0].delay_schedule.delays:
                 raise ValueError(
                     "ensemble members disagree on the one-off delay schedule")
-        self.members = tuple(members)
-        self.model = first
-        self._n = first.n
-        self._r = len(members)
-        self._period = first.period
-        self._vp_over_n = first.v_p / first.n
-        self._rows, self._cols = first.topology.edge_list()
-        # Flattened segment indices for the one-shot bincount: member r's
-        # row i accumulates at r*N + i.
-        offsets = np.arange(self._r, dtype=np.intp) * self._n
-        self._flat_rows = (offsets[:, None] + self._rows[None, :]).ravel()
-        self._zeta_stack = self._stack_zeta()
-        self._has_delays = any(m.has_delays for m in self.members)
-        self._sched = self.members[0].delay_schedule
-        self._sched_empty = len(self._sched.delays) == 0
-
-    def _stack_zeta(self) -> np.ndarray | None:
-        """Stack member zeta realisations when they share a refresh grid."""
-        procs = [m.zeta for m in self.members]
-        z0 = procs[0]
-        if all(z.dt == z0.dt and z.t0 == z0.t0
-               and z.values.shape == z0.values.shape for z in procs):
-            return np.stack([z.values for z in procs], axis=1)  # (m, R, N)
-        return None
-
-    # ------------------------------------------------------------------
-    @property
-    def n(self) -> int:
-        """Number of oscillators per member."""
-        return self._n
-
-    @property
-    def n_members(self) -> int:
-        """Ensemble size R."""
-        return self._r
-
-    @property
-    def has_delays(self) -> bool:
-        """True if any member carries interaction delays (cached)."""
-        return self._has_delays
-
-    def max_delay(self) -> float:
-        """History horizon needed by the DDE integrator."""
-        return max(m.max_delay() for m in self.members)
-
-    # ------------------------------------------------------------------
-    def intrinsic_frequency(self, t: float) -> np.ndarray:
-        """Stacked per-process frequencies, shape ``(R, N)``."""
-        if self._zeta_stack is not None:
-            k = int(np.floor((t - self.members[0].zeta.t0)
-                             / self.members[0].zeta.dt))
-            k = min(max(k, 0), self._zeta_stack.shape[0] - 1)
-            zeta = self._zeta_stack[k]                       # (R, N)
-        else:
-            zeta = np.stack([m.zeta(t) for m in self.members])
-        denom = self._period + zeta
-        if not self._sched_empty:
-            # The one-off delay schedule is deterministic and identical
-            # across members (it derives from the declarative model
-            # alone), so it is evaluated once and broadcast.
-            denom = denom + self._sched(t, self._n)[None, :]
-        return frequency_from_period(denom)
-
-    def coupling(self, t: float, theta: np.ndarray,
-                 history: "HistoryBuffer | None" = None) -> np.ndarray:
-        """Stacked interaction terms for the super-state ``theta (R, N)``."""
-        rows, cols = self._rows, self._cols
-        if self._vp_over_n == 0.0 or rows.size == 0:
-            return np.zeros((self._r, self._n))
-
-        if not self.has_delays or history is None:
-            d_edge = theta[:, cols] - theta[:, rows]         # (R, E)
-            v_edge = np.asarray(self.model.potential(d_edge), dtype=float)
-            acc = np.bincount(self._flat_rows, weights=v_edge.ravel(),
-                              minlength=self._r * self._n)
-            return self._vp_over_n * acc.reshape(self._r, self._n)
-
-        # Delayed path: the history holds (R, N) super-states; each
-        # member patches its own edge subset per distinct delay level.
-        out = np.empty((self._r, self._n))
-        for r, m in enumerate(self.members):
-            th = theta[r]
-            d_edge = th[cols] - th[rows]
-            if m.has_delays:
-                tau_edge = m.tau(t)[rows, cols]
-                for v in np.unique(tau_edge):
-                    if v == 0.0:
-                        continue
-                    delayed = history(t - float(v))[r]
-                    sel = tau_edge == v
-                    d_edge[sel] = delayed[cols[sel]] - th[rows[sel]]
-            v_edge = np.asarray(self.model.potential(d_edge), dtype=float)
-            out[r] = np.bincount(rows, weights=v_edge, minlength=self._n)
-        return self._vp_over_n * out
-
-    def rhs(self, t: float, theta: np.ndarray,
-            history: "HistoryBuffer | None" = None) -> np.ndarray:
-        """Full stacked right-hand side, shape ``(R, N)``."""
-        return self.intrinsic_frequency(t) + self.coupling(t, theta, history)
-
-    def make_ode_rhs(self):
-        """Closure ``f(t, theta)`` for ODE solvers (requires no delays)."""
-        if self.has_delays:
-            raise ValueError(
-                "ensemble has interaction delays; use make_dde_rhs with a history"
-            )
-        return lambda t, y: self.rhs(t, y, None)
-
-    def make_dde_rhs(self, history: "HistoryBuffer"):
-        """Closure ``f(t, theta)`` that reads delayed states from ``history``."""
-        return lambda t, y: self.rhs(t, y, history)
-
-    def describe(self) -> dict:
-        """Metadata dictionary used by exporters."""
-        return {"backend": self.name, "n": self._n, "members": self._r}
+        super().__init__(members)

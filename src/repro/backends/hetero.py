@@ -1,0 +1,295 @@
+"""Heterogeneous batched RHS backend: R *different* models in one call.
+
+:class:`~repro.backends.batched.BatchedBackend` (PR 1) stacks R
+realisations of the *same* declarative model — a seed ensemble.  This
+module lifts the same-``v_p`` / same-potential / same-delay-schedule
+restrictions so that one stacked ``(R, N)`` solve can integrate an
+entire **parameter grid**: members may disagree on
+
+* the coupling strength ``v_p`` (broadcast as an ``(R, 1)`` column),
+* the cycle period ``T = t_comp + t_comm`` (idem),
+* the interaction potential (members are grouped by potential value and
+  each group is evaluated in one vectorised ``(k, E)`` pass),
+* the one-off delay schedule (evaluated per member, or broadcast when
+  all members share one),
+* the noise realisation (stacked when the refresh grids agree, as in
+  the homogeneous backend).
+
+Only the topology (hence the edge list) and the oscillator count must be
+shared — that is what makes a single flattened segment-sum kernel
+possible.  Because the per-row accumulation order is identical to the
+sparse edge-list backend's, each row of the batched result matches the
+corresponding single-member evaluation to machine precision; this is
+what lets ``grid_sweep(..., batched=True)`` and
+:func:`repro.core.simulation.simulate_grid` integrate all grid points as
+one super-state and fan exact per-point trajectories back out.
+
+The coupling kernel reuses preallocated ``(R, E)`` scratch buffers
+(gathers and the edge-difference array) instead of re-allocating them on
+every RHS call; the remaining per-call allocations (potential output,
+``np.bincount`` accumulator) are required by the NumPy API.  At large
+``N`` the kernel is memory-bound either way — the batching win is the
+amortised per-step *Python* overhead, which dominates at the paper's
+small-N sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .base import frequency_from_period
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.model import RealizedModel
+    from ..integrate.history import HistoryBuffer
+
+__all__ = ["HeteroBatchedBackend"]
+
+#: potential classes whose behaviour is fully determined by describe()
+_VALUE_KEYED_POTENTIALS = frozenset(
+    {"TanhPotential", "BottleneckPotential", "KuramotoPotential",
+     "LinearPotential"})
+
+
+def _potential_key(potential) -> tuple:
+    """Grouping key: members with equal keys share one vectorised call.
+
+    The shipped potential classes are value types (their ``describe()``
+    dict pins the behaviour), so separately-constructed-but-equal
+    potentials merge into one group.  Unknown or custom potentials fall
+    back to object identity — never merged unless literally shared.
+    """
+    cls = type(potential)
+    if cls.__name__ in _VALUE_KEYED_POTENTIALS and \
+            cls.__module__.endswith("core.potentials"):
+        return (cls.__name__, tuple(sorted(potential.describe().items())))
+    return ("id", id(potential))
+
+
+class HeteroBatchedBackend:
+    """Vectorised RHS over a stack of realisations of *different* models.
+
+    Parameters
+    ----------
+    members:
+        Frozen realisations sharing the topology and oscillator count;
+        everything else (coupling strength, period, potential, noise,
+        delay schedule) may vary per member.  States are ``(R, N)``
+        arrays with one row per member.
+    """
+
+    name = "hetero"
+
+    def __init__(self, members: Sequence["RealizedModel"]) -> None:
+        if len(members) == 0:
+            raise ValueError("need at least one batch member")
+        first = members[0].model
+        for m in members[1:]:
+            mm = m.model
+            if mm.n != first.n:
+                raise ValueError("batch members disagree on N")
+            if mm.topology is not first.topology and not np.array_equal(
+                    mm.topology.matrix, first.topology.matrix):
+                raise ValueError("batch members disagree on the topology")
+        self.members = tuple(members)
+        self.model = first
+        self._n = first.n
+        self._r = len(members)
+        # Per-member parameter columns, broadcast against (R, N) states.
+        self._periods = np.array(
+            [m.model.period for m in members], dtype=float)[:, None]
+        self._vps = np.array(
+            [m.model.v_p / self._n for m in members], dtype=float)[:, None]
+        self._rows, self._cols = first.topology.edge_list()
+        # Flattened segment indices for the one-shot bincount: member r's
+        # row i accumulates at r*N + i.
+        offsets = np.arange(self._r, dtype=np.intp) * self._n
+        self._flat_rows = (offsets[:, None] + self._rows[None, :]).ravel()
+        self._zeta_stack = self._stack_zeta()
+        self._has_delays = any(m.has_delays for m in self.members)
+        # Delay schedules: broadcast one evaluation when all members
+        # share the same schedule, else evaluate per member.
+        scheds = [m.delay_schedule for m in self.members]
+        self._scheds = scheds
+        self._sched_empty = all(len(s.delays) == 0 for s in scheds)
+        self._sched_shared = all(
+            s.delays == scheds[0].delays and s.period == scheds[0].period
+            for s in scheds[1:])
+        # Potential groups: (row-index array, potential) pairs.
+        groups: dict[tuple, list[int]] = {}
+        for i, m in enumerate(self.members):
+            groups.setdefault(_potential_key(m.model.potential), []).append(i)
+        self._pot_groups = [
+            (np.asarray(ix, dtype=np.intp), self.members[ix[0]].model.potential)
+            for ix in groups.values()
+        ]
+        self._pots = [m.model.potential for m in self.members]
+        # Family vectorisation: a parameterised potential family (e.g. a
+        # sigma grid of BottleneckPotentials) broadcasts its parameters
+        # as an (R, 1) column — one vectorised call instead of R groups.
+        self._pot_stacked = None
+        if len(self._pot_groups) > 1:
+            self._pot_stacked = type(self._pots[0]).stack(self._pots) \
+                if hasattr(type(self._pots[0]), "stack") else None
+        # Preallocated (R, E) scratch for the non-delayed coupling kernel.
+        e = self._rows.size
+        self._d_edge = np.empty((self._r, e))
+        self._th_rows = np.empty((self._r, e))
+
+    def _stack_zeta(self) -> np.ndarray | None:
+        """Stack member zeta realisations when they share a refresh grid."""
+        procs = [m.zeta for m in self.members]
+        z0 = procs[0]
+        if all(z.dt == z0.dt and z.t0 == z0.t0
+               and z.values.shape == z0.values.shape for z in procs):
+            return np.stack([z.values for z in procs], axis=1)  # (m, R, N)
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of oscillators per member."""
+        return self._n
+
+    @property
+    def n_members(self) -> int:
+        """Batch size R."""
+        return self._r
+
+    @property
+    def has_delays(self) -> bool:
+        """True if any member carries interaction delays (cached)."""
+        return self._has_delays
+
+    def max_delay(self) -> float:
+        """History horizon needed by the DDE integrator."""
+        return max(m.max_delay() for m in self.members)
+
+    def subset(self, idx: Sequence[int]) -> "HeteroBatchedBackend":
+        """A backend over the member rows ``idx`` (for per-member re-steps).
+
+        Used by the adaptive per-member step control: when a few stiff
+        members reject a step the whole batch accepted, only those rows
+        are re-integrated through a small subset backend.
+        """
+        return HeteroBatchedBackend([self.members[int(i)] for i in idx])
+
+    # ------------------------------------------------------------------
+    def _delay_zeta(self, t: float) -> np.ndarray:
+        """One-off-delay zeta contribution, shape ``(R, N)`` or ``(1, N)``."""
+        if self._sched_shared:
+            return self._scheds[0](t, self._n)[None, :]
+        return np.stack([s(t, self._n) for s in self._scheds])
+
+    def intrinsic_frequency(self, t: float) -> np.ndarray:
+        """Stacked per-process frequencies, shape ``(R, N)``."""
+        if self._zeta_stack is not None:
+            k = int(np.floor((t - self.members[0].zeta.t0)
+                             / self.members[0].zeta.dt))
+            k = min(max(k, 0), self._zeta_stack.shape[0] - 1)
+            zeta = self._zeta_stack[k]                       # (R, N)
+        else:
+            zeta = np.stack([m.zeta(t) for m in self.members])
+        denom = self._periods + zeta
+        if not self._sched_empty:
+            denom = denom + self._delay_zeta(t)
+        return frequency_from_period(denom)
+
+    def _edge_potential(self, d_edge: np.ndarray) -> np.ndarray:
+        """Evaluate each member's potential on its ``(E,)`` edge row.
+
+        Members sharing a potential value are evaluated in one ``(k, E)``
+        block; the elementwise arithmetic is identical to the per-row
+        evaluation, so grouping never changes the result bits.
+        """
+        if len(self._pot_groups) == 1:
+            return np.asarray(self._pot_groups[0][1](d_edge), dtype=float)
+        if self._pot_stacked is not None:
+            return np.asarray(self._pot_stacked(d_edge), dtype=float)
+        out = np.empty_like(d_edge)
+        for ix, pot in self._pot_groups:
+            out[ix] = pot(d_edge[ix])
+        return out
+
+    def coupling(self, t: float, theta: np.ndarray,
+                 history: "HistoryBuffer | None" = None) -> np.ndarray:
+        """Stacked interaction terms for the super-state ``theta (R, N)``."""
+        rows, cols = self._rows, self._cols
+        if rows.size == 0 or not np.any(self._vps):
+            return np.zeros((self._r, self._n))
+
+        if not self.has_delays or history is None:
+            # Gather into the preallocated scratch; d_edge = theta[:, cols]
+            # - theta[:, rows] without per-call allocations.
+            np.take(theta, cols, axis=1, out=self._d_edge)
+            np.take(theta, rows, axis=1, out=self._th_rows)
+            np.subtract(self._d_edge, self._th_rows, out=self._d_edge)
+            v_edge = self._edge_potential(self._d_edge)
+            acc = np.bincount(self._flat_rows, weights=v_edge.ravel(),
+                              minlength=self._r * self._n)
+            out = acc.reshape(self._r, self._n)
+            out *= self._vps
+            return out
+
+        # Delayed path: the history holds (R, N) super-states; each
+        # member patches its own edge subset per distinct delay level.
+        out = np.empty((self._r, self._n))
+        for r, m in enumerate(self.members):
+            th = theta[r]
+            d_edge = th[cols] - th[rows]
+            if m.has_delays:
+                tau_edge = m.tau(t)[rows, cols]
+                for v in np.unique(tau_edge):
+                    if v == 0.0:
+                        continue
+                    delayed = history(t - float(v))[r]
+                    sel = tau_edge == v
+                    d_edge[sel] = delayed[cols[sel]] - th[rows[sel]]
+            v_edge = np.asarray(self._pots[r](d_edge), dtype=float)
+            out[r] = np.bincount(rows, weights=v_edge, minlength=self._n)
+        out *= self._vps
+        return out
+
+    def rhs(self, t: float, theta: np.ndarray,
+            history: "HistoryBuffer | None" = None) -> np.ndarray:
+        """Full stacked right-hand side, shape ``(R, N)``."""
+        return self.intrinsic_frequency(t) + self.coupling(t, theta, history)
+
+    def make_ode_rhs(self):
+        """Closure ``f(t, theta)`` for ODE solvers (requires no delays)."""
+        if self.has_delays:
+            raise ValueError(
+                "batch has interaction delays; use make_dde_rhs with a history"
+            )
+        return lambda t, y: self.rhs(t, y, None)
+
+    def make_dde_rhs(self, history: "HistoryBuffer"):
+        """Closure ``f(t, theta)`` that reads delayed states from ``history``."""
+        return lambda t, y: self.rhs(t, y, history)
+
+    def make_em_drift(self):
+        """Euler-Maruyama drift closure: noise-free intrinsic + coupling.
+
+        Mirrors the sequential EM path: the frozen zeta realisation is
+        *excluded* from the drift (the Gaussian channel enters as true
+        white noise through the diffusion term instead); one-off delay
+        schedules stay in, per member.
+        """
+        if self.has_delays:
+            raise ValueError("batch has interaction delays; EM is ODE-only")
+
+        def drift(t: float, theta: np.ndarray) -> np.ndarray:
+            if self._sched_empty:
+                denom = self._periods
+            else:
+                denom = self._periods + self._delay_zeta(t)
+            return frequency_from_period(denom) + self.coupling(t, theta, None)
+
+        return drift
+
+    def describe(self) -> dict:
+        """Metadata dictionary used by exporters."""
+        return {"backend": self.name, "n": self._n, "members": self._r,
+                "potential_groups": len(self._pot_groups)}

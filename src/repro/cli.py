@@ -61,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("experiment", help="experiment name (see `pom list`)")
     run_p.add_argument("--out", default=None,
                        help="directory for CSV output (default: no files)")
+    run_p.add_argument("--looped", action="store_true",
+                       help="run parameter sweeps point by point instead of "
+                            "one batched (R, N) solve (slower; for "
+                            "cross-checking)")
 
     model_p = sub.add_parser("model", help="run the oscillator model")
     model_p.add_argument("--n", type=int, default=24, help="oscillators")
@@ -125,9 +129,20 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import inspect
+
     exp = get_experiment(args.experiment)
     print(f"[{exp.id}] {exp.description}")
-    result = exp.runner(out_dir=args.out) if args.out else exp.runner()
+    kwargs = {}
+    if args.out:
+        kwargs["out_dir"] = args.out
+    if args.looped:
+        # Only the sweep runners take the knob; other artefacts ignore it.
+        if "batched" in inspect.signature(exp.runner).parameters:
+            kwargs["batched"] = False
+        else:
+            print("(--looped has no effect on this experiment)")
+    result = exp.runner(**kwargs)
     print(result)
     if args.out:
         print(f"CSV written to {args.out}")

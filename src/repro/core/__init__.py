@@ -52,7 +52,13 @@ from .potentials import (
     TanhPotential,
     potential_from_name,
 )
-from .simulation import default_dt, simulate, simulate_batched, simulate_kuramoto
+from .simulation import (
+    default_dt,
+    simulate,
+    simulate_batched,
+    simulate_grid,
+    simulate_kuramoto,
+)
 from .topology import (
     Topology,
     all_to_all,
@@ -85,7 +91,8 @@ __all__ = [
     "BottleneckPotential", "CustomPotential", "KuramotoPotential",
     "LinearPotential", "Potential", "TanhPotential", "potential_from_name",
     # simulation
-    "default_dt", "simulate", "simulate_batched", "simulate_kuramoto",
+    "default_dt", "simulate", "simulate_batched", "simulate_grid",
+    "simulate_kuramoto",
     # topology
     "Topology", "all_to_all", "chain", "from_edges", "from_networkx",
     "grid2d", "random_topology", "ring", "torus2d",

@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from .model import PhysicalOscillatorModel
-from .simulation import simulate, simulate_batched
+from .simulation import default_dt, simulate, simulate_batched, simulate_grid
 from .trajectory import OscillatorTrajectory
 
 __all__ = ["EnsembleResult", "run_ensemble", "GridResult", "grid_sweep"]
@@ -85,7 +86,10 @@ def run_ensemble(
         integrate the whole ensemble in a single solver pass
         (:func:`repro.core.simulation.simulate_batched`) — typically
         several times faster than the sequential loop.  The members
-        then share one (adaptive) time mesh.
+        then share one (adaptive) time mesh.  Works for ``method="em"``
+        too: the stacked solve draws each member's Wiener increments
+        from its own seeded stream, reproducing the sequential per-seed
+        runs bit for bit (at equal ``dt``).
     simulate_kwargs:
         Forwarded to :func:`repro.core.simulate` (or its batched
         counterpart).
@@ -145,21 +149,100 @@ class GridResult:
             table[name] = [fn(r) for r in self.results]
         return table
 
+    def write_csv(self, path, extractors: Mapping[str, Callable],
+                  *, meta: Mapping | None = None) -> Path:
+        """Write the :meth:`as_table` columns as a CSV artefact.
+
+        Round-trips through :func:`repro.viz.export.read_csv`.
+        """
+        from ..viz.export import write_csv as _write_csv
+        return _write_csv(path, self.as_table(extractors), meta=meta)
+
 
 def grid_sweep(param_grid: Mapping[str, Sequence],
-               runner: Callable[..., object]) -> GridResult:
-    """Run ``runner(**point)`` for every point of the Cartesian grid.
+               runner: Callable[..., object] | None = None,
+               *,
+               model_factory: Callable[..., PhysicalOscillatorModel] | None = None,
+               batched: bool = False,
+               t_end: float | None = None,
+               seed: int | None = None,
+               theta0: Sequence[float] | np.ndarray | None = None,
+               **simulate_kwargs) -> GridResult:
+    """Evaluate every point of the Cartesian grid ``param_grid``.
 
-    ``param_grid`` maps parameter names to value lists; the runner is
-    called with keyword arguments.
+    Two modes:
+
+    * **runner mode** (the original API): call ``runner(**point)`` per
+      grid point and collect whatever it returns.
+    * **model mode**: ``model_factory(**point)`` builds one declarative
+      model per grid point; the results are
+      :class:`~repro.core.trajectory.OscillatorTrajectory` objects.
+      With ``batched=True`` all grid points are stacked into a single
+      ``(R, N)`` super-state and integrated in *one* solver pass
+      (:func:`repro.core.simulation.simulate_grid`) — typically several
+      times faster than the point-by-point loop; with ``batched=False``
+      each point runs through :func:`simulate` individually (same seeds
+      and fixed-step methods give machine-identical phases, so the two
+      paths are interchangeable).
+
+    Parameters
+    ----------
+    param_grid:
+        Maps parameter names to value lists (Cartesian product).
+    runner:
+        Runner-mode callable; mutually exclusive with ``model_factory``.
+    model_factory:
+        Model-mode callable ``f(**point) -> PhysicalOscillatorModel``.
+    batched:
+        Model mode only: integrate the whole grid in one stacked solve.
+    t_end:
+        Model mode only: shared integration horizon (required).
+    seed:
+        Model mode only: noise-realisation seed applied to every point
+        (default 0).
+    theta0:
+        Model mode only: shared initial phases (default synchronised).
+    simulate_kwargs:
+        Model mode only: forwarded to :func:`simulate` /
+        :func:`simulate_grid` (``method``, ``dt``, ``rtol``, ...).
+        When ``dt`` is not given, one shared fixed step — the smallest
+        :func:`~repro.core.simulation.default_dt` over the grid — is
+        used for *both* paths, so looped and batched fixed-step results
+        stay machine-identical even when the points' own default steps
+        would differ.
     """
     if not param_grid:
         raise ValueError("parameter grid must not be empty")
+    if (runner is None) == (model_factory is None):
+        raise ValueError("need exactly one of runner= or model_factory=")
+    if runner is not None:
+        extra = {"batched": batched or None, "t_end": t_end, "seed": seed,
+                 "theta0": theta0, **simulate_kwargs}
+        offending = sorted(k for k, v in extra.items() if v is not None)
+        if offending:
+            raise ValueError(
+                f"{', '.join(offending)} only apply to model_factory= "
+                "mode, not runner= mode"
+            )
+    if model_factory is not None and t_end is None:
+        raise ValueError("model_factory= requires t_end=")
+
     names = tuple(param_grid.keys())
-    points: list[dict] = []
-    results: list = []
-    for combo in itertools.product(*(param_grid[n] for n in names)):
-        point = dict(zip(names, combo))
-        points.append(point)
-        results.append(runner(**point))
+    points = [dict(zip(names, combo))
+              for combo in itertools.product(*(param_grid[n] for n in names))]
+
+    if runner is not None:
+        results: list = [runner(**point) for point in points]
+    else:
+        models = [model_factory(**point) for point in points]
+        if "dt" not in simulate_kwargs:
+            simulate_kwargs = {**simulate_kwargs,
+                               "dt": min(default_dt(m) for m in models)}
+        seed = 0 if seed is None else seed
+        if batched:
+            results = simulate_grid(models, t_end, seeds=seed, theta0=theta0,
+                                    **simulate_kwargs)
+        else:
+            results = [simulate(m, t_end, theta0=theta0, seed=seed,
+                                **simulate_kwargs) for m in models]
     return GridResult(param_names=names, points=points, results=results)

@@ -57,6 +57,23 @@ class Potential(ABC):
     def __call__(self, dtheta: np.ndarray | float) -> np.ndarray | float:
         """Evaluate the potential at phase difference(s) ``dtheta``."""
 
+    @classmethod
+    def stack(cls, potentials) -> Callable | None:
+        """Row-wise vectorised evaluator for a family of potentials.
+
+        Given R potentials of one parameterised family, return a
+        callable mapping ``(R, E)`` phase differences to ``(R, E)``
+        values where row ``r`` is evaluated with member ``r``'s
+        parameters (broadcast as an ``(R, 1)`` column) — the arithmetic
+        per row must be bit-identical to ``potentials[r](dtheta[r])``.
+        Used by the heterogeneous batched backend so a parameter grid
+        over e.g. ``sigma`` costs one vectorised call per RHS evaluation
+        instead of R.  The base implementation returns ``None`` (no
+        family vectorisation available; the backend falls back to a
+        per-group loop).
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Generic analysis helpers (shared by all concrete potentials)
     # ------------------------------------------------------------------
@@ -143,6 +160,17 @@ class TanhPotential(Potential):
         """The only zero is at 0: full synchrony."""
         return 0.0
 
+    @classmethod
+    def stack(cls, potentials) -> Callable | None:
+        if not all(type(p) is TanhPotential for p in potentials):
+            return None
+        gains = np.array([p.gain for p in potentials], dtype=float)[:, None]
+
+        def stacked(dtheta: np.ndarray) -> np.ndarray:
+            return np.tanh(gains * dtheta)
+
+        return stacked
+
     def antiderivative(self, dtheta):
         """Closed form: ``U(d) = log(cosh(gain*d)) / gain`` — a convex
         well with its single minimum at synchrony."""
@@ -223,6 +251,21 @@ class BottleneckPotential(Potential):
         """
         return 2.0 * self.sigma / 3.0
 
+    @classmethod
+    def stack(cls, potentials) -> Callable | None:
+        if not all(type(p) is BottleneckPotential for p in potentials):
+            return None
+        sigmas = np.array([p.sigma for p in potentials], dtype=float)[:, None]
+        coefs = 3.0 * np.pi / (2.0 * sigmas)
+
+        def stacked(dtheta: np.ndarray) -> np.ndarray:
+            out = np.sign(dtheta)
+            inside = np.abs(dtheta) < sigmas
+            out[inside] = -np.sin((coefs * dtheta)[inside])
+            return out
+
+        return stacked
+
     @property
     def repulsive_range(self) -> float:
         """Width of the repulsive neighbourhood of the origin."""
@@ -298,6 +341,17 @@ class LinearPotential(Potential):
         if d.ndim == 0:
             return float(out)
         return out
+
+    @classmethod
+    def stack(cls, potentials) -> Callable | None:
+        if not all(type(p) is LinearPotential for p in potentials):
+            return None
+        ks = np.array([p.k for p in potentials], dtype=float)[:, None]
+
+        def stacked(dtheta: np.ndarray) -> np.ndarray:
+            return ks * dtheta
+
+        return stacked
 
     def describe(self) -> dict:
         d = super().describe()

@@ -23,7 +23,12 @@ from typing import Sequence
 
 import numpy as np
 
-from ..backends import BatchedBackend, frequency_from_period
+from ..backends import (
+    BatchedBackend,
+    HeteroBatchedBackend,
+    frequency_from_period,
+    make_batched_backend,
+)
 from ..integrate import (
     HistoryBuffer,
     solve_dopri45,
@@ -36,7 +41,8 @@ from .model import KuramotoModel, PhysicalOscillatorModel, RealizedModel
 from .noise import GaussianJitter, NoNoise
 from .trajectory import OscillatorTrajectory
 
-__all__ = ["simulate", "simulate_batched", "simulate_kuramoto", "default_dt"]
+__all__ = ["simulate", "simulate_batched", "simulate_grid",
+           "simulate_kuramoto", "default_dt"]
 
 
 def default_dt(model: PhysicalOscillatorModel, safety: float = 50.0) -> float:
@@ -144,6 +150,137 @@ def simulate(
     return traj
 
 
+def _subset_rhs_factory(stacked: HeteroBatchedBackend):
+    """Member-subset RHS factory for the per-member adaptive control.
+
+    Builds (and caches) a small backend over just the requested member
+    rows so the solver can re-step a few stiff members without paying
+    for the whole batch.  Member rows are independent, which is what
+    makes the row-subset evaluation exact.
+    """
+    cache: dict[tuple[int, ...], object] = {}
+
+    def factory(idx: tuple[int, ...]):
+        fn = cache.get(idx)
+        if fn is None:
+            fn = stacked.subset(idx).make_ode_rhs()
+            if len(cache) < 64:     # bound memory for pathological grids
+                cache[idx] = fn
+        return fn
+
+    return factory
+
+
+def _solve_em_stacked(stacked: HeteroBatchedBackend, amps: np.ndarray,
+                      t_end: float, theta0s: np.ndarray, dt: float,
+                      seeds: Sequence[int]):
+    """Batched Euler-Maruyama: (R, N) Wiener increments inside the solver.
+
+    ``amps`` is the per-member diffusion amplitude column ``(R, 1)``;
+    each member's increments come from its own seeded generator, in the
+    same order the sequential per-seed solve draws them, so the batched
+    ensemble reproduces the one-seed-at-a-time runs bit for bit.
+    """
+    drift = stacked.make_em_drift()
+
+    def diffusion(t: float, theta: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(amps, theta.shape)
+
+    rngs = [np.random.default_rng(int(s)) for s in seeds]
+    return solve_euler_maruyama(drift, diffusion, (0.0, t_end), theta0s,
+                                dt=dt, rng=rngs)
+
+
+def _em_amplitude(model: PhysicalOscillatorModel) -> float:
+    """Diffusion amplitude of the EM noise mapping (see :func:`_solve_em`)."""
+    noise = model.local_noise
+    if not isinstance(noise, GaussianJitter):
+        raise ValueError('method "em" requires a GaussianJitter local noise')
+    return model.omega ** 2 / (2.0 * np.pi) * noise.std
+
+
+def _solve_stacked(stacked, models: Sequence[PhysicalOscillatorModel],
+                   t_end: float, theta0s: np.ndarray, method: str,
+                   dt: float, rtol: float, atol: float,
+                   seeds: Sequence[int], per_member_adaptive: bool):
+    """Shared solver dispatch for the batched ensemble and grid paths."""
+    if method == "em" and stacked.has_delays:
+        # Interaction delays switch to the deterministic DDE integrator,
+        # which has no diffusion term — silently dropping the white
+        # noise would simulate the wrong stochastic model.
+        raise ValueError(
+            'method "em" is not supported for models with interaction '
+            "delays (the DDE path has no diffusion term)"
+        )
+    if stacked.has_delays:
+        history = HistoryBuffer(0.0, theta0s)
+        rhs = stacked.make_dde_rhs(history)
+        history._fs[0] = rhs(0.0, theta0s)
+
+        def cb(t: float, y: np.ndarray) -> None:
+            history.append(t, y, rhs(t, y))
+
+        return solve_rk4(rhs, (0.0, t_end), theta0s, dt=dt, step_callback=cb)
+    if method == "dopri":
+        max_step = min(_noise_feature_dt(m) for m in models) / 2.0
+        return solve_dopri45(
+            stacked.make_ode_rhs(), (0.0, t_end), theta0s,
+            rtol=rtol, atol=atol,
+            max_step=max_step if np.isfinite(max_step) else np.inf,
+            subset_rhs=(_subset_rhs_factory(stacked)
+                        if per_member_adaptive else None))
+    if method == "rk4":
+        return solve_rk4(stacked.make_ode_rhs(), (0.0, t_end), theta0s, dt=dt)
+    if method == "euler":
+        return solve_euler(stacked.make_ode_rhs(), (0.0, t_end), theta0s,
+                           dt=dt)
+    if method == "em":
+        amps = np.array([_em_amplitude(m) for m in models])[:, None]
+        return _solve_em_stacked(stacked, amps, t_end, theta0s, dt, seeds)
+    raise ValueError(f"unknown method {method!r}")
+
+
+class _MemberDense:
+    """One member's slice of a stacked ``(R, N)`` dense output."""
+
+    def __init__(self, dense, member: int) -> None:
+        self._dense = dense
+        self._member = member
+
+    def __call__(self, t: np.ndarray) -> np.ndarray:
+        return self._dense(t)[:, self._member, :]
+
+
+def _fan_out(sol, models: Sequence[PhysicalOscillatorModel],
+             seeds: Sequence[int],
+             n_samples: int | None) -> list[OscillatorTrajectory]:
+    """Slice a stacked solution back into per-member trajectories.
+
+    Each member gets its own :class:`~repro.integrate.Solution` view —
+    the shared mesh, its row of the states, a member-sliced dense output
+    (when the solver built one), and the shared solver stats (including
+    ``member_rejections`` from the per-member step control).
+    """
+    from ..integrate import Solution
+
+    # Resample the whole stack in one pass — evaluating the stacked
+    # dense output once and slicing rows, instead of one full-batch
+    # evaluation per member.
+    sampled = sol.resample(n_samples) if n_samples is not None else sol
+
+    trajs = []
+    for r, (model, seed) in enumerate(zip(models, seeds)):
+        member_sol = Solution(
+            ts=sol.ts, ys=sol.ys[:, r, :], stats=sol.stats,
+            dense=(_MemberDense(sol.dense, r) if sol.dense is not None
+                   else None),
+            success=sol.success, message=sol.message)
+        trajs.append(OscillatorTrajectory(
+            ts=sampled.ts, thetas=sampled.ys[:, r, :],
+            model=model, solution=member_sol, seed=int(seed)))
+    return trajs
+
+
 def simulate_batched(
     model: PhysicalOscillatorModel,
     t_end: float,
@@ -156,6 +293,7 @@ def simulate_batched(
     atol: float = 1e-9,
     n_samples: int | None = None,
     backend: str | None = None,
+    per_member_adaptive: bool = True,
 ) -> list[OscillatorTrajectory]:
     """Integrate a whole seed ensemble as one ``(R, N)`` super-state.
 
@@ -163,9 +301,12 @@ def simulate_batched(
     RHSs through the vectorised :class:`~repro.backends.BatchedBackend`,
     and runs a *single* solver pass.  This amortises the per-step Python
     overhead over all members and replaces R small coupling kernels with
-    one large one.  The shared adaptive mesh is controlled by the worst
-    member's error norm, so every member individually satisfies the
-    tolerances (see :func:`repro.integrate.controller.error_norm`).
+    one large one.  The members share one (adaptive) time mesh; every
+    member individually satisfies the tolerances (per-member error norm,
+    see :func:`repro.integrate.controller.error_norm`), and with
+    ``per_member_adaptive`` a member that rejects a step the rest
+    accepted is re-stepped on its own instead of shrinking the shared
+    step.
 
     Parameters mirror :func:`simulate`, except:
 
@@ -174,8 +315,14 @@ def simulate_batched(
     theta0_factory:
         Optional per-seed initial condition, ``f(seed) -> (n,)``.
     method:
-        ``"dopri"`` | ``"rk4"`` | ``"euler"``.  (``"em"`` is not
-        batchable — its noise is drawn inside the solver loop.)
+        ``"dopri"`` | ``"rk4"`` | ``"euler"`` | ``"em"``.  The batched
+        Euler-Maruyama draws the ``(R, N)`` Wiener increments inside the
+        solver from per-seed generators, reproducing the sequential
+        per-seed runs bit for bit (at equal ``dt``).
+    per_member_adaptive:
+        Enable the per-member step-rejection control for ``"dopri"``
+        (default on; turn off to force the PR-1 worst-member-drags-all
+        behaviour, e.g. for benchmarking).
 
     Returns
     -------
@@ -186,11 +333,6 @@ def simulate_batched(
         raise ValueError("t_end must be positive")
     if len(seeds) == 0:
         raise ValueError("need at least one seed")
-    if method == "em":
-        raise ValueError(
-            'method "em" draws noise inside the solver loop and cannot be '
-            "batched; use the sequential path"
-        )
 
     members = [model.realize(t_end, rng=seed, backend=backend)
                for seed in seeds]
@@ -208,42 +350,101 @@ def simulate_batched(
     if dt is None:
         dt = default_dt(model)
 
-    if stacked.has_delays:
-        history = HistoryBuffer(0.0, theta0s)
-        rhs = stacked.make_dde_rhs(history)
-        history._fs[0] = rhs(0.0, theta0s)
-
-        def cb(t: float, y: np.ndarray) -> None:
-            history.append(t, y, rhs(t, y))
-
-        sol = solve_rk4(rhs, (0.0, t_end), theta0s, dt=dt, step_callback=cb)
-    elif method == "dopri":
-        max_step = _noise_feature_dt(model) / 2.0
-        sol = solve_dopri45(stacked.make_ode_rhs(), (0.0, t_end), theta0s,
-                            rtol=rtol, atol=atol,
-                            max_step=max_step if np.isfinite(max_step) else np.inf)
-    elif method == "rk4":
-        sol = solve_rk4(stacked.make_ode_rhs(), (0.0, t_end), theta0s, dt=dt)
-    elif method == "euler":
-        sol = solve_euler(stacked.make_ode_rhs(), (0.0, t_end), theta0s, dt=dt)
-    else:
-        raise ValueError(f"unknown method {method!r}")
-
+    models = [model] * len(seeds)
+    sol = _solve_stacked(stacked, models, t_end, theta0s, method, dt,
+                         rtol, atol, seeds, per_member_adaptive)
     if not sol.success:
         raise RuntimeError(f"batched integration failed: {sol.message}")
+    return _fan_out(sol, models, seeds, n_samples)
 
-    trajs = []
-    for r, seed in enumerate(seeds):
-        # Per-member slice of the super-state; the batched Solution's
-        # dense output has the wrong shape for a single member, so
-        # resampling falls back to mesh interpolation (solution=None).
-        traj = OscillatorTrajectory(ts=sol.ts, thetas=sol.ys[:, r, :],
-                                    model=model, solution=None,
-                                    seed=int(seed))
-        if n_samples is not None:
-            traj = traj.resample(n_samples)
-        trajs.append(traj)
-    return trajs
+
+def simulate_grid(
+    models: Sequence[PhysicalOscillatorModel],
+    t_end: float,
+    *,
+    seeds: int | Sequence[int] = 0,
+    theta0: Sequence[float] | np.ndarray | None = None,
+    theta0s: Sequence | np.ndarray | None = None,
+    method: str = "dopri",
+    dt: float | None = None,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    n_samples: int | None = None,
+    per_member_adaptive: bool = True,
+) -> list[OscillatorTrajectory]:
+    """Integrate a parameter grid of models as one ``(R, N)`` super-state.
+
+    The heterogeneous counterpart of :func:`simulate_batched`: the
+    models may differ in coupling strength, period, potential, noise,
+    and one-off delay schedule — only the topology (and N) must be
+    shared.  All grid points are compiled into a single
+    :class:`~repro.backends.HeteroBatchedBackend` and integrated in one
+    solver pass; per-point trajectories are fanned back out, each
+    carrying its own model metadata.
+
+    Parameters
+    ----------
+    models:
+        One declarative model per grid point.
+    t_end:
+        Shared integration horizon.
+    seeds:
+        A single seed applied to every grid point (the usual sweep
+        convention: identical noise stream per point), or one seed per
+        model.
+    theta0:
+        Shared initial phases for all points (default: synchronised).
+    theta0s:
+        Per-point initial phases ``(R, N)``; overrides ``theta0``.
+    method, dt, rtol, atol, n_samples, per_member_adaptive:
+        As in :func:`simulate_batched` (``"em"`` batches too — each
+        point draws its Wiener increments from its own seeded stream).
+
+    Returns
+    -------
+    list[OscillatorTrajectory]
+        One trajectory per model, in input order, all on the shared mesh.
+    """
+    if t_end <= 0:
+        raise ValueError("t_end must be positive")
+    models = list(models)
+    if len(models) == 0:
+        raise ValueError("need at least one model")
+    n = models[0].n
+    for m in models[1:]:
+        if m.n != n:
+            raise ValueError("grid models disagree on N")
+
+    if np.ndim(seeds) == 0:
+        seed_list = [int(seeds)] * len(models)
+    else:
+        seed_list = [int(s) for s in seeds]
+        if len(seed_list) != len(models):
+            raise ValueError(
+                f"got {len(seed_list)} seeds for {len(models)} models")
+
+    members = [m.realize(t_end, rng=s) for m, s in zip(models, seed_list)]
+    stacked = make_batched_backend(members)
+
+    if theta0s is not None:
+        theta0s = np.asarray(theta0s, dtype=float).copy()
+    else:
+        base = (synchronized(n) if theta0 is None
+                else np.asarray(theta0, dtype=float))
+        theta0s = np.tile(base, (len(models), 1))
+    if theta0s.shape != (len(models), n):
+        raise ValueError(
+            f"stacked theta0 has shape {theta0s.shape}, "
+            f"expected ({len(models)}, {n})"
+        )
+    if dt is None:
+        dt = min(default_dt(m) for m in models)
+
+    sol = _solve_stacked(stacked, models, t_end, theta0s, method, dt,
+                         rtol, atol, seed_list, per_member_adaptive)
+    if not sol.success:
+        raise RuntimeError(f"grid integration failed: {sol.message}")
+    return _fan_out(sol, models, seed_list, n_samples)
 
 
 def _solve_dde(realized: RealizedModel, t_end: float, theta0: np.ndarray,

@@ -29,6 +29,7 @@ from ..core import (
     all_to_all,
     ring,
     simulate,
+    simulate_grid,
     simulate_kuramoto,
 )
 from ..metrics.order_parameter import order_parameter_series
@@ -80,21 +81,25 @@ def sweep_beta_kappa(
     delay_rank: int = 4,
     seed: int = 0,
     out_dir: str | Path | None = None,
+    batched: bool = True,
 ) -> BetaKappaSweep:
     """Sweep the coupling strength (via ``v_p_override = beta*kappa/T``).
 
     Uses a fixed next-neighbour ring and the scalable potential so only
-    the coupling knob varies (the paper's Sec. 5.1.1 story).
+    the coupling knob varies (the paper's Sec. 5.1.1 story).  With
+    ``batched=True`` (default) all grid points integrate as one stacked
+    super-state through the heterogeneous batched backend; the looped
+    path remains available for cross-checking.
     """
     if values is None:
         values = np.array([0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0])
     values = np.asarray(values, dtype=float)
     period = t_comp + t_comm
+    topology = ring(n_ranks, (1, -1))
 
-    speeds, resync, peaks = [], [], []
-    for bk in values:
-        model = PhysicalOscillatorModel(
-            topology=ring(n_ranks, (1, -1)),
+    models = [
+        PhysicalOscillatorModel(
+            topology=topology,
             potential=TanhPotential(),
             t_comp=t_comp,
             t_comm=t_comm,
@@ -102,7 +107,15 @@ def sweep_beta_kappa(
             delays=(OneOffDelay(rank=delay_rank, t_start=_T_INJECT,
                                 delay=2.0 * period),),
         )
-        traj = simulate(model, t_end, seed=seed)
+        for bk in values
+    ]
+    if batched:
+        trajs = simulate_grid(models, t_end, seeds=seed)
+    else:
+        trajs = [simulate(model, t_end, seed=seed) for model in models]
+
+    speeds, resync, peaks = [], [], []
+    for model, traj in zip(models, trajs):
         wave = measure_wave_speed(traj.ts, traj.thetas, model.omega,
                                   delay_rank, t_injection=_T_INJECT)
         speeds.append(wave.speed)
@@ -162,25 +175,41 @@ def sweep_sigma(
     delay_rank: int = 4,
     seed: int = 0,
     out_dir: str | Path | None = None,
+    batched: bool = True,
 ) -> SigmaSweep:
-    """Sweep the bottleneck horizon sigma on a next-neighbour ring."""
+    """Sweep the bottleneck horizon sigma on a next-neighbour ring.
+
+    With ``batched=True`` (default) the whole sigma grid integrates as
+    one stacked super-state (the potentials differ per member — the
+    heterogeneous backend groups them); ``batched=False`` runs the
+    original point-by-point loop.
+    """
     if sigmas is None:
         sigmas = np.array([0.25, 0.5, 1.0, 1.5, 2.0, 3.0])
     sigmas = np.asarray(sigmas, dtype=float)
+    topology = ring(n_ranks, (1, -1))
 
-    gaps, spreads, speeds = [], [], []
     rng = np.random.default_rng(seed)
     theta0 = rng.normal(0.0, 1e-3, size=n_ranks)
-    for s in sigmas:
-        model = PhysicalOscillatorModel(
-            topology=ring(n_ranks, (1, -1)),
+    models = [
+        PhysicalOscillatorModel(
+            topology=topology,
             potential=BottleneckPotential(sigma=float(s)),
             t_comp=t_comp,
             t_comm=t_comm,
             delays=(OneOffDelay(rank=delay_rank, t_start=_T_INJECT,
                                 delay=2.0 * (t_comp + t_comm)),),
         )
-        traj = simulate(model, t_end, theta0=theta0, seed=seed)
+        for s in sigmas
+    ]
+    if batched:
+        trajs = simulate_grid(models, t_end, seeds=seed, theta0=theta0)
+    else:
+        trajs = [simulate(model, t_end, theta0=theta0, seed=seed)
+                 for model in models]
+
+    gaps, spreads, speeds = [], [], []
+    for model, traj in zip(models, trajs):
         verdict = classify(traj.ts, traj.thetas, model.omega)
         gaps.append(verdict.mean_abs_gap)
         spreads.append(verdict.final_spread)

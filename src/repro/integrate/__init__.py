@@ -14,7 +14,7 @@ The paper's artifact solves Eq. (2) with MATLAB's ``ode45``
 All solvers return a :class:`Solution`.
 """
 
-from .controller import StepController, error_norm, initial_step
+from .controller import StepController, error_norm, error_norm_members, initial_step
 from .dopri import solve_dopri45
 from .euler import solve_euler, solve_euler_maruyama
 from .history import HistoryBuffer
@@ -24,6 +24,7 @@ from .solution import Solution, SolverStats
 __all__ = [
     "StepController",
     "error_norm",
+    "error_norm_members",
     "initial_step",
     "solve_dopri45",
     "solve_euler",

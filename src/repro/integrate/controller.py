@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["error_norm", "StepController"]
+__all__ = ["error_norm", "error_norm_members", "StepController"]
 
 
 def error_norm(err_vec: np.ndarray, y_old: np.ndarray, y_new: np.ndarray,
@@ -40,6 +40,21 @@ def error_norm(err_vec: np.ndarray, y_old: np.ndarray, y_new: np.ndarray,
     if sq.ndim <= 1:
         return float(np.sqrt(np.mean(sq)))
     return float(np.sqrt(np.mean(sq, axis=-1)).max())
+
+
+def error_norm_members(err_vec: np.ndarray, y_old: np.ndarray,
+                       y_new: np.ndarray, rtol: float,
+                       atol: float) -> np.ndarray:
+    """Per-member scaled RMS norms for a stacked state ``(..., N)``.
+
+    Returns the vector of per-member norms (shape ``err_vec.shape[:-1]``)
+    whose maximum equals :func:`error_norm`.  The per-member step
+    control of the batched solvers uses this to accept the step for the
+    members that satisfy the tolerances and re-step only the rest.
+    """
+    scale = atol + rtol * np.maximum(np.abs(y_old), np.abs(y_new))
+    ratio = err_vec / scale
+    return np.sqrt(np.mean(ratio * ratio, axis=-1))
 
 
 @dataclass

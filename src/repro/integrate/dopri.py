@@ -20,10 +20,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .controller import StepController, error_norm, initial_step
+from .controller import StepController, error_norm, error_norm_members, initial_step
 from .solution import Solution, SolverStats
 
 __all__ = ["DOPRI_C", "DOPRI_A", "DOPRI_B5", "DOPRI_B4", "solve_dopri45"]
+
+#: hard cap on step attempts inside one per-member re-step window
+_SUBSTEP_LIMIT = 10_000
 
 # ----------------------------------------------------------------------
 # Butcher tableau (Dormand & Prince 1980)
@@ -129,6 +132,46 @@ def _dense_coefficients(h: float, y0: np.ndarray, y1: np.ndarray,
     return np.stack([r1, r2, r3, r4, r5], axis=0)
 
 
+def _integrate_window(f, t0: float, t1: float, y0: np.ndarray, h0: float,
+                      rtol: float, atol: float) -> tuple[np.ndarray, int, bool]:
+    """Adaptively advance a member subset over exactly ``[t0, t1]``.
+
+    Used by the per-member step control: when only a few (stiff) members
+    reject a step the rest of the batch accepted, those rows are
+    re-integrated here with their own sub-steps while the accepted
+    members stay frozen at ``t1``.  Returns ``(y(t1), n_rhs, success)``.
+    """
+    y = np.array(y0, dtype=float, copy=True)
+    controller = StepController(order=5)
+    k = np.empty((7,) + y.shape, dtype=float)
+    k[0] = np.asarray(f(t0, y), dtype=float)
+    n_rhs = 1
+    t = t0
+    h = min(h0, t1 - t0)
+    min_step = 1e-14 * max(abs(t0), abs(t1), 1.0)
+    for _ in range(_SUBSTEP_LIMIT):
+        if t >= t1 - min_step:
+            return y, n_rhs, True
+        h = min(h, t1 - t)
+        if h < min_step:
+            return y, n_rhs, False
+        for i in range(1, 7):
+            yi = y + h * _contract(DOPRI_A[i, :i], k[:i])
+            k[i] = np.asarray(f(t + DOPRI_C[i] * h, yi), dtype=float)
+        n_rhs += 6
+        y_new = y + h * _contract(DOPRI_B5, k)
+        err_vec = h * np.abs(_contract(DOPRI_B5 - DOPRI_B4, k))
+        err = error_norm(err_vec, y, y_new, rtol, atol)
+        if err <= 1.0:
+            t = t + h
+            y = y_new
+            k[0] = k[6]  # FSAL
+            h = controller.propose(h, err, accepted=True)
+        else:
+            h = controller.propose(h, err, accepted=False)
+    return y, n_rhs, False
+
+
 def solve_dopri45(
     f: Callable[[float, np.ndarray], np.ndarray],
     t_span: Sequence[float],
@@ -142,6 +185,7 @@ def solve_dopri45(
     dense_output: bool = True,
     t_eval: Sequence[float] | np.ndarray | None = None,
     step_callback: Callable[[float, np.ndarray], None] | None = None,
+    subset_rhs: Callable[[tuple[int, ...]], Callable] | None = None,
 ) -> Solution:
     """Integrate ``dy/dt = f(t, y)`` from ``t_span[0]`` to ``t_span[1]``.
 
@@ -173,6 +217,17 @@ def solve_dopri45(
     step_callback:
         Called as ``cb(t, y)`` after each accepted step (used by the DDE
         driver to append to the history buffer).
+    subset_rhs:
+        Per-member step control for stacked ``(R, N)`` states whose
+        members are mutually independent (batched ensembles and grids).
+        A factory mapping a tuple of member indices to an RHS closure
+        over just those rows.  When given, a step that only *some*
+        members reject is not retried globally: the passing members are
+        frozen at ``t + h`` and the rejected rows are re-integrated over
+        ``[t, t + h]`` with their own sub-steps
+        (:func:`_integrate_window`), so one stiff member no longer drags
+        the whole batch to its step size.  Per-member rejection counts
+        are recorded in ``stats.member_rejections``.
 
     Returns
     -------
@@ -216,6 +271,10 @@ def solve_dopri45(
     ys = [y.copy()]
     qs: list[np.ndarray] = []
 
+    # Per-member bookkeeping for stacked (R, N) states.
+    track_members = y.ndim == 2
+    member_rej = np.zeros(y.shape[0], dtype=int) if track_members else None
+
     t = t0
     min_step = 1e-14 * max(abs(t0), abs(t_end), 1.0)
     success = True
@@ -238,15 +297,48 @@ def solve_dopri45(
             k[i] = rhs(t + DOPRI_C[i] * h, yi)
         y_new = y + h * _contract(DOPRI_B5, k)
         err_vec = h * np.abs(_contract(DOPRI_B5 - DOPRI_B4, k))
-        err = error_norm(err_vec, y, y_new, rtol, atol)
+        if track_members:
+            errs = error_norm_members(err_vec, y, y_new, rtol, atol)
+            err = float(errs.max())
+        else:
+            errs = None
+            err = error_norm(err_vec, y, y_new, rtol, atol)
 
-        if err <= 1.0:
-            # Accept.
+        accepted = err <= 1.0
+        mixed_bad = None
+        if not accepted and errs is not None:
+            member_rej[errs > 1.0] += 1
+            if subset_rhs is not None and bool(np.any(errs <= 1.0)):
+                # Mixed step: freeze the passing members at t + h and
+                # re-integrate only the rejected rows over [t, t + h].
+                bad = np.flatnonzero(errs > 1.0)
+                y_bad, n_rhs_sub, ok = _integrate_window(
+                    subset_rhs(tuple(int(i) for i in bad)),
+                    t, t + h, y[bad], 0.5 * h, rtol, atol)
+                stats.n_rhs += n_rhs_sub
+                if ok:
+                    y_new[bad] = y_bad
+                    accepted = True
+                    mixed_bad = bad
+                    # Grow the shared step from the *accepted* members'
+                    # error only — the stiff rows sub-step on their own.
+                    err = float(errs[errs <= 1.0].max())
+
+        if accepted:
             if dense_output:
-                qs.append(_dense_coefficients(h, y, y_new, k))
+                q = _dense_coefficients(h, y, y_new, k)
+                if mixed_bad is not None:
+                    # The stage derivatives are invalid for re-stepped
+                    # rows; degrade their interpolant to linear.
+                    q[1, mixed_bad] = y_new[mixed_bad] - y[mixed_bad]
+                    q[2:, mixed_bad] = 0.0
+                qs.append(q)
             t = t + h
             stats.n_steps += 1
-            k[0] = k[6]  # FSAL
+            if mixed_bad is None:
+                k[0] = k[6]  # FSAL
+            else:
+                k[0] = rhs(t, y_new)  # stage at t is stale for re-stepped rows
             y = y_new
             ts.append(t)
             ys.append(y.copy())
@@ -257,6 +349,8 @@ def solve_dopri45(
             stats.n_rejected += 1
             h = controller.propose(h, err, accepted=False)
 
+    if track_members:
+        stats.member_rejections = member_rej
     ts_arr = np.asarray(ts)
     ys_arr = np.asarray(ys)
     dense = _DenseOutput(ts_arr, ys_arr, qs) if (dense_output and qs) else None

@@ -67,7 +67,7 @@ def solve_euler_maruyama(
     y0: Sequence[float] | np.ndarray,
     *,
     dt: float,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | Sequence | None = None,
     step_callback: Callable[[float, np.ndarray], None] | None = None,
 ) -> Solution:
     """Integrate the Itô SDE ``dy = f dt + g dW`` (diagonal noise).
@@ -83,18 +83,40 @@ def solve_euler_maruyama(
     dt:
         Fixed time step.
     rng:
-        NumPy generator; a fresh default generator is used if omitted
-        (pass one for reproducibility).
+        NumPy generator (or seed); a fresh default generator is used if
+        omitted (pass one for reproducibility).  For batched ``(R, N)``
+        states a *sequence* of R generators/seeds draws each member's
+        Wiener increments from its own stream, in the exact order the
+        sequential one-member-at-a-time solve would — a batched ensemble
+        therefore reproduces the per-seed runs bit for bit.
     """
     t0, t_end = float(t_span[0]), float(t_span[1])
     if not t_end > t0:
         raise ValueError(f"need t_end > t0, got {t_span!r}")
     if dt <= 0:
         raise ValueError("dt must be positive")
-    if rng is None:
-        rng = np.random.default_rng()
 
     y = np.asarray(y0, dtype=float).copy()
+    if isinstance(rng, (list, tuple)):
+        gens = [r if isinstance(r, np.random.Generator)
+                else np.random.default_rng(r) for r in rng]
+        if y.ndim < 2 or len(gens) != y.shape[0]:
+            raise ValueError(
+                f"got {len(gens)} generators for a state of shape "
+                f"{y.shape}; a generator sequence needs one entry per "
+                "member row"
+            )
+
+        def draw() -> np.ndarray:
+            return np.stack([gen.standard_normal(y.shape[1:])
+                             for gen in gens])
+    else:
+        gen = rng if isinstance(rng, np.random.Generator) \
+            else np.random.default_rng(rng)
+
+        def draw() -> np.ndarray:
+            return gen.standard_normal(y.shape)
+
     stats = SolverStats()
     n_full = int(np.floor((t_end - t0) / dt + 1e-12))
     remainder = (t_end - t0) - n_full * dt
@@ -106,7 +128,7 @@ def solve_euler_maruyama(
         h = dt if i < n_full else remainder
         drift = np.asarray(f(t, y), dtype=float)
         diff = np.asarray(g(t, y), dtype=float)
-        dw = rng.standard_normal(y.shape) * np.sqrt(h)
+        dw = draw() * np.sqrt(h)
         y = y + h * drift + diff * dw
         t = t + h
         stats.n_rhs += 1

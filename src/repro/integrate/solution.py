@@ -30,19 +30,34 @@ class SolverStats:
     n_steps:
         Number of *accepted* steps.
     n_rejected:
-        Number of rejected (re-tried) steps for adaptive methods.
+        Number of rejected (re-tried) *whole-state* steps for adaptive
+        methods (a step some members passed and others re-stepped is not
+        counted here — see ``member_rejections``).
+    member_rejections:
+        For batched ``(R, N)`` solves with per-member step control: how
+        often each member's error estimate exceeded the tolerances on an
+        attempted step, shape ``(R,)``.  ``None`` for single-state
+        solves and for batched solves without member tracking.
     """
 
     n_rhs: int = 0
     n_steps: int = 0
     n_rejected: int = 0
+    member_rejections: np.ndarray | None = None
 
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Return the component-wise sum of two stats records."""
+        if self.member_rejections is None:
+            member = other.member_rejections
+        elif other.member_rejections is None:
+            member = self.member_rejections
+        else:
+            member = self.member_rejections + other.member_rejections
         return SolverStats(
             n_rhs=self.n_rhs + other.n_rhs,
             n_steps=self.n_steps + other.n_steps,
             n_rejected=self.n_rejected + other.n_rejected,
+            member_rejections=member,
         )
 
 

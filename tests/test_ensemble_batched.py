@@ -116,10 +116,48 @@ class TestBatchedEnsembleRegression:
         trajs = simulate_batched(model, 3.0, seeds=(0, 1), n_samples=50)
         assert all(tr.n_samples == 50 for tr in trajs)
 
-    def test_em_method_rejected(self):
+    def test_em_batched_matches_sequential_seed_for_seed(self):
+        # The batched Euler-Maruyama draws each member's (N,) Wiener
+        # increments from its own seeded generator in the same order as
+        # the sequential per-seed solve, so at equal dt the phases must
+        # agree to machine precision.
         model = noisy_model()
-        with pytest.raises(ValueError, match="batched"):
-            simulate_batched(model, 2.0, seeds=(0, 1), method="em")
+        seeds = (0, 1, 5)
+        trajs = simulate_batched(model, 4.0, seeds=seeds, method="em",
+                                 dt=0.01)
+        for seed, traj in zip(seeds, trajs):
+            ref = simulate(model, 4.0, seed=seed, method="em", dt=0.01)
+            np.testing.assert_allclose(traj.thetas, ref.thetas,
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_em_ensemble_metrics_match(self):
+        model = noisy_model()
+        seeds = tuple(range(4))
+        seq = run_ensemble(model, 4.0, METRICS, seeds=seeds, method="em",
+                           dt=0.01)
+        bat = run_ensemble(model, 4.0, METRICS, seeds=seeds, method="em",
+                           dt=0.01, batched=True)
+        for name in METRICS:
+            np.testing.assert_allclose(bat.values[name], seq.values[name],
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_em_with_interaction_delays_rejected(self):
+        # Delays switch to the deterministic DDE path, which has no
+        # diffusion term — that must fail loudly, not silently drop the
+        # white noise.
+        model = noisy_model(
+            interaction_noise=ConstantInteractionNoise(tau=0.05))
+        with pytest.raises(ValueError, match="interaction delays"):
+            simulate_batched(model, 2.0, seeds=(0, 1), method="em", dt=0.01)
+
+    def test_em_requires_gaussian_noise(self):
+        model = PhysicalOscillatorModel(
+            topology=ring(16, (1, -1)),
+            potential=BottleneckPotential(sigma=1.0),
+            t_comp=0.9, t_comm=0.1,
+        )
+        with pytest.raises(ValueError, match="GaussianJitter"):
+            simulate_batched(model, 2.0, seeds=(0, 1), method="em", dt=0.01)
 
     def test_empty_seed_list_rejected(self):
         model = noisy_model()
