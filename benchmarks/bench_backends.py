@@ -15,6 +15,12 @@ Measures the three claims of the backend layer:
    i.e. squarely in the second regime.
 3. **Ensemble wall-clock** — ``run_ensemble`` over 8 seeds, sequential
    vs. ``batched=True``.
+4. **Kernel ladder** — the large-N regime (ring N = 1e4 / 1e5 and a
+   ~1e5-rank torus, built edge-native so no dense matrix is ever
+   materialised): one single-state and one 8-member batched RHS
+   evaluation under each available coupling kernel (``numpy`` vs.
+   ``tiled`` vs. the fused compiled ``cc``/``numba``), reported as
+   speedups over the ``numpy`` kernel.
 
 Run directly (no pytest needed)::
 
@@ -22,7 +28,8 @@ Run directly (no pytest needed)::
 
 ``--quick`` shrinks the problem sizes for CI smoke jobs.  The JSON
 artefact records the numbers so the perf trajectory is tracked from PR
-to PR.
+to PR; ``benchmarks/check_regression.py`` gates CI on the committed
+quick baselines.
 """
 
 from __future__ import annotations
@@ -35,13 +42,16 @@ from statistics import median
 
 import numpy as np
 
-from repro.backends import BatchedBackend
+from repro import kernels
+from repro.backends import BatchedBackend, make_backend
 from repro.core import (
     GaussianJitter,
     PhysicalOscillatorModel,
     TanhPotential,
     ring,
+    ring_edges,
     run_ensemble,
+    torus2d_edges,
 )
 
 
@@ -53,6 +63,22 @@ def _time(fn, repeats: int) -> float:
         fn()
         times.append(time.perf_counter() - t0)
     return float(median(times))
+
+
+def _time_best(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of ``fn()`` over ``repeats`` runs.
+
+    The kernel ladder compares pure compute kernels, where the minimum
+    is the standard estimator: it filters scheduler/frequency noise that
+    the median still admits on busy hosts, and the quantity of interest
+    is the kernels' capability ratio, not a typical-load figure.
+    """
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(min(times))
 
 
 def bench_rhs(n: int, repeats: int) -> dict:
@@ -128,6 +154,92 @@ def bench_ensemble(n: int, r: int, t_end: float, repeats: int) -> dict:
     }
 
 
+def _ladder_kernels() -> list[str]:
+    """Kernels to compare: numpy/tiled always, plus what's available."""
+    names = ["numpy", "tiled"]
+    if kernels.numba_available():
+        names.append("numba")
+    if kernels.cc_available():
+        names.append("cc")
+    return names
+
+
+def bench_kernel_case(topology, r: int, repeats: int) -> dict:
+    """Single and batched RHS under every available coupling kernel.
+
+    The topology comes in edge-backed (no dense matrix), so this runs at
+    N = 1e5 where the dense path would need an 80 GB matrix.  Noise-free
+    model: the ladder isolates the coupling kernel, which is the part
+    the ``kernel=`` knob swaps.
+    """
+    model = PhysicalOscillatorModel(
+        topology=topology, potential=TanhPotential(),
+        t_comp=0.9, t_comm=0.1)
+    n = topology.n
+    theta = np.random.default_rng(0).normal(0.0, 1.0, n)
+    thetas = np.random.default_rng(1).normal(0.0, 1.0, (r, n))
+    members = [model.realize(10.0, rng=s, backend="sparse")
+               for s in range(r)]
+
+    case: dict = {
+        "topology": topology.name,
+        "n": n,
+        "n_edges": topology.n_edges,
+        "members": r,
+        "metric": "coupling seconds per evaluation",
+        "single": {},
+        "batched": {},
+    }
+    ref_single = ref_batched = None
+    backends = {}
+    for name in _ladder_kernels():
+        single = make_backend(model.realize(10.0, rng=0, backend="sparse"),
+                              "sparse", kernel=name)
+        stacked = BatchedBackend(members, kernel=name)
+        # Warm up (first compiled call may JIT/load) + correctness guard.
+        s_val = single.coupling(0.0, theta)
+        b_val = stacked.coupling(0.0, thetas)
+        if ref_single is None:
+            ref_single, ref_batched = s_val, b_val
+        else:
+            np.testing.assert_allclose(s_val, ref_single,
+                                       rtol=1e-10, atol=1e-12)
+            np.testing.assert_allclose(b_val, ref_batched,
+                                       rtol=1e-10, atol=1e-12)
+        backends[name] = (single, stacked)
+    # Interleave the kernels round-robin so host-load drift cannot land
+    # on one kernel only; keep the per-kernel minimum across all rounds.
+    for mode in ("single", "batched"):
+        best = {name: np.inf for name in backends}
+        for _ in range(2 * repeats + 1):
+            for name, (single, stacked) in backends.items():
+                if mode == "single":
+                    t = _time_best(lambda: single.coupling(0.0, theta), 3)
+                else:
+                    t = _time_best(lambda: stacked.coupling(0.0, thetas), 3)
+                best[name] = min(best[name], t)
+        case[mode].update(best)
+    for mode in ("single", "batched"):
+        base = case[mode]["numpy"]
+        for name, t in list(case[mode].items()):
+            if name != "numpy":
+                case[mode][f"speedup_{name}_vs_numpy"] = base / t
+    return case
+
+
+def bench_kernel_ladder(quick: bool, repeats: int) -> list[dict]:
+    """The ring/torus large-N ladder (edge-backed topologies)."""
+    if quick:
+        cases = [ring_edges(4096, (1, -1))]
+    else:
+        cases = [
+            ring_edges(10_000, (1, -1)),
+            ring_edges(100_000, (1, -1)),
+            torus2d_edges(316, 316),          # ~1e5 ranks, degree 4
+        ]
+    return [bench_kernel_case(t, 8, repeats) for t in cases]
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("--out", default="BENCH_backends.json",
@@ -155,6 +267,8 @@ def main(argv: list[str] | None = None) -> int:
         "batched_rhs": bench_batched_rhs(rhs_n, 8, repeats),
         "batched_rhs_small": bench_batched_rhs(128, 8, repeats),
         "ensemble": bench_ensemble(ens_n, 8, ens_t, 3),
+        "kernels_available": _ladder_kernels(),
+        "kernel_ladder": bench_kernel_ladder(args.quick, repeats),
     }
 
     with open(args.out, "w") as fh:
@@ -177,6 +291,15 @@ def main(argv: list[str] | None = None) -> int:
           f"sequential {er['sequential_s']:.2f} s, "
           f"batched {er['batched_s']:.2f} s "
           f"=> {er['speedup_batched_vs_sequential']:.1f}x")
+    for case in result["kernel_ladder"]:
+        for mode in ("single", "batched"):
+            parts = [f"{k} {case[mode][k] * 1e3:.3f} ms"
+                     for k in _ladder_kernels()]
+            ratios = [f"{k} {case[mode][f'speedup_{k}_vs_numpy']:.1f}x"
+                      for k in _ladder_kernels() if k != "numpy"]
+            print(f"kernel ladder {case['topology']} N={case['n']} "
+                  f"{mode}: " + ", ".join(parts)
+                  + " | vs numpy: " + ", ".join(ratios))
     print(f"written: {args.out}")
     return 0
 

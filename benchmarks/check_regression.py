@@ -1,0 +1,125 @@
+"""CI perf-regression gate over the benchmark JSON artefacts.
+
+Compares a freshly measured benchmark JSON (``bench_backends.py`` /
+``bench_sweeps.py`` output) against a committed baseline and fails when
+any *speedup ratio* degrades below ``tolerance * baseline``.  Gating on
+speedup ratios rather than absolute seconds makes the check robust to
+the (very different, very noisy) CI machines: a ratio like
+"sparse kernel vs dense" or "fused kernel vs numpy" is a property of
+the code, not of the host.
+
+Usage (as wired into the ``bench-smoke`` CI job)::
+
+    python benchmarks/check_regression.py \
+        --pair benchmarks/baselines/BENCH_backends.quick.json BENCH_backends.json \
+        --pair benchmarks/baselines/BENCH_sweeps.quick.json BENCH_sweeps.json \
+        --tolerance 0.5
+
+Exit status 0 when every speedup is at least ``tolerance`` times its
+baseline value, 1 otherwise.  Speedup keys present only in the baseline
+(a benchmark was removed) also fail; keys present only in the current
+run (a benchmark was added) are reported informationally.  Only stdlib
+is used, so the gate runs before any project dependency is installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterator
+
+#: numeric fields treated as regression-gated speedup ratios
+SPEEDUP_PREFIX = "speedup_"
+
+
+def iter_speedups(obj, path: str = "") -> Iterator[tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every speedup field in ``obj``."""
+    if isinstance(obj, dict):
+        for key, value in sorted(obj.items()):
+            sub = f"{path}.{key}" if path else str(key)
+            if key.startswith(SPEEDUP_PREFIX) and isinstance(value, (int, float)):
+                yield sub, float(value)
+            else:
+                yield from iter_speedups(value, sub)
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            yield from iter_speedups(value, f"{path}[{i}]")
+
+
+def compare(baseline: dict, current: dict, tolerance: float, label: str) -> list[str]:
+    """Return a list of failure messages (empty when the gate passes)."""
+    base = dict(iter_speedups(baseline))
+    cur = dict(iter_speedups(current))
+    failures = []
+    for key, base_val in base.items():
+        cur_val = cur.get(key)
+        if cur_val is None:
+            failures.append(
+                f"{label}: {key} missing from current run "
+                f"(baseline {base_val:.2f}x)"
+            )
+            continue
+        floor = tolerance * base_val
+        status = "ok" if cur_val >= floor else "REGRESSION"
+        print(
+            f"{label}: {key}: baseline {base_val:.2f}x, "
+            f"current {cur_val:.2f}x, floor {floor:.2f}x -> {status}"
+        )
+        if cur_val < floor:
+            failures.append(
+                f"{label}: {key} degraded to {cur_val:.2f}x "
+                f"(baseline {base_val:.2f}x, floor {floor:.2f}x)"
+            )
+    for key in sorted(set(cur) - set(base)):
+        print(f"{label}: {key}: new (no baseline), {cur[key]:.2f}x")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pair",
+        nargs=2,
+        action="append",
+        metavar=("BASELINE", "CURRENT"),
+        required=True,
+        help="baseline JSON and freshly measured JSON to compare "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="minimum allowed fraction of the baseline speedup "
+        "(default 0.5)",
+    )
+    args = parser.parse_args(argv)
+    if not (0.0 < args.tolerance <= 1.0):
+        parser.error("tolerance must be in (0, 1]")
+
+    failures: list[str] = []
+    for baseline_path, current_path in args.pair:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        with open(current_path) as fh:
+            current = json.load(fh)
+        label = current.get("benchmark", current_path)
+        if baseline.get("quick") != current.get("quick"):
+            print(
+                f"{label}: warning: comparing quick={current.get('quick')} "
+                f"against baseline quick={baseline.get('quick')}"
+            )
+        failures.extend(compare(baseline, current, args.tolerance, label))
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print("\nperf-regression gate: all speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,6 @@ compute noise.
 Run:  python examples/noise_study.py
 """
 
-import numpy as np
 
 from repro.analysis import measure_trace_wave
 from repro.core import (

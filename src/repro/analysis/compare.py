@@ -12,14 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core import (
-    BottleneckPotential,
     OneOffDelay,
     PhysicalOscillatorModel,
     Potential,
-    TanhPotential,
     ring,
     simulate,
 )

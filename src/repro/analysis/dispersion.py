@@ -43,7 +43,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.model import PhysicalOscillatorModel
-from ..core.topology import Topology
 
 __all__ = [
     "StabilityReport",

@@ -32,12 +32,19 @@ Batched (multi-member) backends have their own registry:
 ``make_batched_backend(members, "auto")`` picks the strict homogeneous
 :class:`BatchedBackend` when all members realise one declarative model
 and falls back to :class:`HeteroBatchedBackend` otherwise.
+
+Orthogonal to the backend choice, the ``kernel=`` knob selects the
+implementation of the inner coupling loop for the edge-list backends
+(``"auto"`` | ``"numpy"`` | ``"tiled"`` | ``"numba"`` | ``"cc"``, see
+:mod:`repro.kernels`); it threads through ``make_backend`` /
+``make_batched_backend``, the ``simulate*`` drivers, and the CLI.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+from ..kernels import available_kernels, normalize_kernel_name
 from .base import RHSBackend, frequency_from_period
 from .batched import BatchedBackend
 from .dense import DenseBackend
@@ -58,8 +65,10 @@ __all__ = [
     "BATCHED_BACKENDS",
     "SPARSE_DENSITY_THRESHOLD",
     "available_backends",
+    "available_kernels",
     "auto_backend_name",
     "normalize_backend_name",
+    "normalize_kernel_name",
     "make_backend",
     "make_batched_backend",
 ]
@@ -108,34 +117,56 @@ def auto_backend_name(topology) -> str:
             else DenseBackend.name)
 
 
-def make_backend(realized: "RealizedModel", name: str = "auto") -> RHSBackend:
-    """Compile ``realized`` with the named (or auto-selected) backend."""
+def make_backend(realized: "RealizedModel", name: str = "auto",
+                 kernel: str | None = "auto") -> RHSBackend:
+    """Compile ``realized`` with the named (or auto-selected) backend.
+
+    ``kernel`` selects the coupling-loop implementation for backends
+    that support it (see :mod:`repro.kernels`).  An explicit non-auto
+    kernel is itself a request for the edge-list path, so backend
+    ``"auto"`` then resolves to sparse regardless of density; only an
+    *explicit* kernel-less backend (dense) combined with an explicit
+    kernel is an error.
+    """
     key = normalize_backend_name(name)
     if key == "auto":
-        key = auto_backend_name(realized.model.topology)
-    return BACKENDS[key](realized)
+        if normalize_kernel_name(kernel) != "auto":
+            key = SparseBackend.name
+        else:
+            key = auto_backend_name(realized.model.topology)
+    cls = BACKENDS[key]
+    if cls.supports_kernels:
+        return cls(realized, kernel=kernel)
+    if normalize_kernel_name(kernel) != "auto":
+        raise ValueError(
+            f"backend {key!r} does not support the kernel= knob "
+            f"(got kernel={kernel!r}); use the sparse backend"
+        )
+    return cls(realized)
 
 
 def make_batched_backend(members: Sequence["RealizedModel"],
-                         name: str = "auto") -> HeteroBatchedBackend:
+                         name: str = "auto",
+                         kernel: str | None = "auto") -> HeteroBatchedBackend:
     """Compile a stack of realisations into one multi-member backend.
 
     ``"auto"`` prefers the strict homogeneous :class:`BatchedBackend`
     (its validation guarantees every member realises the same
     declarative model) and falls back to the general
     :class:`HeteroBatchedBackend` when the members form a parameter
-    grid.  Explicit names force a choice.
+    grid.  Explicit names force a choice.  ``kernel`` selects the
+    coupling-loop implementation (both batched backends support it).
     """
     if name == "auto":
         try:
-            return BatchedBackend(members)
+            return BatchedBackend(members, kernel=kernel)
         except ValueError:
             if len(members) == 0:
                 raise
-            return HeteroBatchedBackend(members)
+            return HeteroBatchedBackend(members, kernel=kernel)
     if name not in BATCHED_BACKENDS:
         raise ValueError(
             f"unknown batched backend {name!r}; available: "
             f"auto, {', '.join(sorted(BATCHED_BACKENDS))}"
         )
-    return BATCHED_BACKENDS[name](members)
+    return BATCHED_BACKENDS[name](members, kernel=kernel)

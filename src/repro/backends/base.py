@@ -58,6 +58,11 @@ class RHSBackend(ABC):
     #: identifier used by the ``backend=`` knobs and reports
     name: str = "abstract"
 
+    #: whether the constructor accepts the ``kernel=`` selection knob
+    #: (see :mod:`repro.kernels`); backends without edge kernels reject
+    #: explicit non-auto requests in :func:`repro.backends.make_backend`
+    supports_kernels: bool = False
+
     def __init__(self, realized: "RealizedModel") -> None:
         model = realized.model
         self.realized = realized

@@ -29,8 +29,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
-import numpy as np
-
 from .hetero import HeteroBatchedBackend
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,7 +53,8 @@ class BatchedBackend(HeteroBatchedBackend):
 
     name = "batched"
 
-    def __init__(self, members: Sequence["RealizedModel"]) -> None:
+    def __init__(self, members: Sequence["RealizedModel"],
+                 kernel: str | None = "auto") -> None:
         if len(members) == 0:
             raise ValueError("need at least one ensemble member")
         first = members[0].model
@@ -67,13 +66,12 @@ class BatchedBackend(HeteroBatchedBackend):
                 raise ValueError("ensemble members disagree on v_p")
             if mm.period != first.period:
                 raise ValueError("ensemble members disagree on the period")
-            if mm.topology is not first.topology and not np.array_equal(
-                    mm.topology.matrix, first.topology.matrix):
-                raise ValueError("ensemble members disagree on the topology")
+            # (topology equality is validated by HeteroBatchedBackend's
+            # __init__, which runs next via super().)
             if mm.potential is not first.potential and (
                     mm.potential.describe() != first.potential.describe()):
                 raise ValueError("ensemble members disagree on the potential")
             if m.delay_schedule.delays != members[0].delay_schedule.delays:
                 raise ValueError(
                     "ensemble members disagree on the one-off delay schedule")
-        super().__init__(members)
+        super().__init__(members, kernel=kernel)

@@ -24,13 +24,24 @@ what lets ``grid_sweep(..., batched=True)`` and
 :func:`repro.core.simulation.simulate_grid` integrate all grid points as
 one super-state and fan exact per-point trajectories back out.
 
-The coupling kernel reuses preallocated ``(R, E)`` scratch buffers
-(gathers and the edge-difference array) instead of re-allocating them on
-every RHS call; the remaining per-call allocations (potential output,
-``np.bincount`` accumulator) are required by the NumPy API.  At large
-``N`` the kernel is memory-bound either way — the batching win is the
-amortised per-step *Python* overhead, which dominates at the paper's
-small-N sweeps.
+The inner coupling loop is delegated to a selectable *kernel*
+(:mod:`repro.kernels`, ``kernel=`` knob):
+
+* ``"numpy"`` — the PR-2 path: preallocated ``(R, E)`` scratch gathers,
+  one family-vectorised potential call, one flattened ``np.bincount``.
+  Memory-bound at N ≳ a few thousand (every evaluation streams several
+  ``(R, E)`` arrays).
+* ``"tiled"`` — the same arithmetic blocked over row-aligned edge
+  ranges so the scratch stays cache-resident; works for any potential,
+  including ``CustomPotential`` groups.
+* ``"numba"`` / ``"cc"`` — fused compiled kernels that evaluate the
+  potential family inline per edge block (per-member ``(kind, p0, p1)``
+  coefficients, so members may even mix families), eliminating the
+  ``(R, E)`` round-trips entirely.
+
+``"auto"`` prefers a compiled kernel whenever every member's potential
+exposes kernel coefficients; ``CustomPotential`` members fall back to
+the NumPy/tiled per-group paths.
 """
 
 from __future__ import annotations
@@ -39,13 +50,32 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from .. import kernels
+from ..kernels import cc as cc_kernels
+from ..kernels import numba_kernels
 from .base import frequency_from_period
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.model import RealizedModel
     from ..integrate.history import HistoryBuffer
 
-__all__ = ["HeteroBatchedBackend"]
+__all__ = ["HeteroBatchedBackend", "same_topology"]
+
+
+def same_topology(a, b) -> bool:
+    """Whether two topologies carry the identical directed edge set.
+
+    Compared on the cached edge lists, never on the dense matrices —
+    edge-backed large-N topologies (``ring_edges(1e5)``) must validate
+    without densifying, and O(E) beats O(N^2) for every sparse case.
+    """
+    if a is b:
+        return True
+    if a.n != b.n:
+        return False
+    ra, ca = a.edge_list()
+    rb, cb = b.edge_list()
+    return np.array_equal(ra, rb) and np.array_equal(ca, cb)
 
 #: potential classes whose behaviour is fully determined by describe()
 _VALUE_KEYED_POTENTIALS = frozenset(
@@ -81,8 +111,10 @@ class HeteroBatchedBackend:
     """
 
     name = "hetero"
+    supports_kernels = True
 
-    def __init__(self, members: Sequence["RealizedModel"]) -> None:
+    def __init__(self, members: Sequence["RealizedModel"],
+                 kernel: str | None = "auto") -> None:
         if len(members) == 0:
             raise ValueError("need at least one batch member")
         first = members[0].model
@@ -90,8 +122,7 @@ class HeteroBatchedBackend:
             mm = m.model
             if mm.n != first.n:
                 raise ValueError("batch members disagree on N")
-            if mm.topology is not first.topology and not np.array_equal(
-                    mm.topology.matrix, first.topology.matrix):
+            if not same_topology(mm.topology, first.topology):
                 raise ValueError("batch members disagree on the topology")
         self.members = tuple(members)
         self.model = first
@@ -133,10 +164,33 @@ class HeteroBatchedBackend:
         if len(self._pot_groups) > 1:
             self._pot_stacked = type(self._pots[0]).stack(self._pots) \
                 if hasattr(type(self._pots[0]), "stack") else None
-        # Preallocated (R, E) scratch for the non-delayed coupling kernel.
+        # Kernel selection (see repro.kernels): fused compiled kernels
+        # need per-member potential coefficients; tiled/numpy go through
+        # the Python potential callables above.
+        self._kernel_request = kernels.normalize_kernel_name(kernel)
+        self._coeffs = kernels.family_coefficients(self._pots)
+        self.kernel = kernels.resolve_kernel(
+            kernel, has_coefficients=self._coeffs is not None,
+            n_edges=self._rows.size)
+        self._tiled = None
+        self._rows32 = self._cols32 = None
+        if self.kernel == "tiled":
+            self._tiled = kernels.TiledBatchedCoupling(
+                first.topology, self._edge_potential, self._vps, self._r)
+        elif self.kernel in ("cc", "numba"):
+            self._rows32 = np.ascontiguousarray(self._rows, dtype=np.int32)
+            self._cols32 = np.ascontiguousarray(self._cols, dtype=np.int32)
+            self._vps_flat = np.ascontiguousarray(self._vps.ravel())
+            # Distance rings (the paper's halo exchanges) additionally
+            # drop the gathers/scatters for contiguous shifted passes.
+            self._ring_offsets = (cc_kernels.ring_offsets(
+                self._rows, self._cols, self._n)
+                if self.kernel == "cc" else None)
+        # Preallocated (R, E) scratch for the non-delayed numpy kernel.
         e = self._rows.size
-        self._d_edge = np.empty((self._r, e))
-        self._th_rows = np.empty((self._r, e))
+        if self.kernel == "numpy":
+            self._d_edge = np.empty((self._r, e))
+            self._th_rows = np.empty((self._r, e))
 
     def _stack_zeta(self) -> np.ndarray | None:
         """Stack member zeta realisations when they share a refresh grid."""
@@ -174,7 +228,8 @@ class HeteroBatchedBackend:
         members reject a step the whole batch accepted, only those rows
         are re-integrated through a small subset backend.
         """
-        return HeteroBatchedBackend([self.members[int(i)] for i in idx])
+        return HeteroBatchedBackend([self.members[int(i)] for i in idx],
+                                    kernel=self._kernel_request)
 
     # ------------------------------------------------------------------
     def _delay_zeta(self, t: float) -> np.ndarray:
@@ -221,6 +276,21 @@ class HeteroBatchedBackend:
             return np.zeros((self._r, self._n))
 
         if not self.has_delays or history is None:
+            if self._tiled is not None:
+                return self._tiled(theta)
+            if self._rows32 is not None:
+                kinds, p0, p1 = self._coeffs
+                theta = np.ascontiguousarray(theta, dtype=float)
+                if self._ring_offsets is not None:
+                    return cc_kernels.ring_batched(
+                        self._ring_offsets, theta,
+                        np.empty((self._r, self._n)), kinds, p0, p1,
+                        self._vps_flat)
+                fn = (cc_kernels.fused_batched if self.kernel == "cc"
+                      else numba_kernels.fused_batched)
+                return fn(self._rows32, self._cols32, theta,
+                          np.empty((self._r, self._n)), kinds, p0, p1,
+                          self._vps_flat)
             # Gather into the preallocated scratch; d_edge = theta[:, cols]
             # - theta[:, rows] without per-call allocations.
             np.take(theta, cols, axis=1, out=self._d_edge)
@@ -292,4 +362,5 @@ class HeteroBatchedBackend:
     def describe(self) -> dict:
         """Metadata dictionary used by exporters."""
         return {"backend": self.name, "n": self._n, "members": self._r,
-                "potential_groups": len(self._pot_groups)}
+                "potential_groups": len(self._pot_groups),
+                "kernel": self.kernel}

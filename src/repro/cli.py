@@ -21,9 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
-from .backends import auto_backend_name, available_backends
+from .backends import auto_backend_name, available_backends, available_kernels
 from .core import (
     OneOffDelay,
     PhysicalOscillatorModel,
@@ -92,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=list(available_backends()),
                          help="RHS compute backend (auto: by topology "
                               "density)")
+    model_p.add_argument("--kernel", default="auto",
+                         choices=list(available_kernels()),
+                         help="coupling-loop kernel for the edge-list "
+                              "backends (auto: fastest available of "
+                              "numba/cc/tiled/numpy)")
     model_p.add_argument("--view", default="phases",
                          choices=["phases", "circle", "summary"])
 
@@ -173,14 +176,28 @@ def _cmd_model(args: argparse.Namespace) -> int:
         if args.initial != "splayed" \
         else initial_from_name("splayed", args.n, gap=2 * args.sigma / 3)
     traj = simulate(model, args.t_end, theta0=theta0, seed=args.seed,
-                    backend=args.backend)
+                    backend=args.backend, kernel=args.kernel)
     verdict = classify(traj.ts, traj.thetas, model.omega)
 
-    # Report the kernel that actually ran, not the "auto" request.
-    resolved = (auto_backend_name(model.topology)
-                if args.backend == "auto" else args.backend)
+    # Report the backend/kernel that actually ran, not the "auto" request
+    # (an explicit kernel steers backend "auto" to the edge-list path).
+    if args.backend != "auto":
+        resolved = args.backend
+    elif args.kernel != "auto":
+        resolved = "sparse"
+    else:
+        resolved = auto_backend_name(model.topology)
+    kernel_note = ""
+    if resolved == "sparse":
+        from .kernels import resolve_kernel
+
+        coeffs = potential.kernel_coefficients()
+        kernel_note = " kernel=" + resolve_kernel(
+            args.kernel, has_coefficients=coeffs is not None,
+            n_edges=model.topology.n_edges)
     print(f"N={args.n} potential={potential.name} beta*kappa="
-          f"{model.beta_kappa:g} v_p={model.v_p:g} backend={resolved}")
+          f"{model.beta_kappa:g} v_p={model.v_p:g} backend={resolved}"
+          f"{kernel_note}")
     if args.view == "circle":
         print(circle_diagram(traj.final_phases, title="asymptotic phases"))
     elif args.view == "phases":

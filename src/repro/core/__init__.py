@@ -68,7 +68,9 @@ from .topology import (
     grid2d,
     random_topology,
     ring,
+    ring_edges,
     torus2d,
+    torus2d_edges,
 )
 from .trajectory import OscillatorTrajectory
 
@@ -95,7 +97,8 @@ __all__ = [
     "simulate_kuramoto",
     # topology
     "Topology", "all_to_all", "chain", "from_edges", "from_networkx",
-    "grid2d", "random_topology", "ring", "torus2d",
+    "grid2d", "random_topology", "ring", "ring_edges", "torus2d",
+    "torus2d_edges",
     # trajectory
     "OscillatorTrajectory",
 ]

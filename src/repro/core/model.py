@@ -35,7 +35,12 @@ from typing import Sequence
 
 import numpy as np
 
-from ..backends import RHSBackend, make_backend, normalize_backend_name
+from ..backends import (
+    RHSBackend,
+    make_backend,
+    normalize_backend_name,
+    normalize_kernel_name,
+)
 from ..integrate.history import HistoryBuffer
 from .coupling import CouplingSpec
 from .noise import (
@@ -84,6 +89,10 @@ class PhysicalOscillatorModel:
         RHS compute backend: ``"auto"`` (default — pick by topology
         density), ``"dense"`` (O(N^2) reference) or ``"sparse"``
         (O(E) edge-list kernel).  See :mod:`repro.backends`.
+    kernel:
+        Coupling-loop kernel for the edge-list backends: ``"auto"``
+        (default — fastest available), ``"numpy"``, ``"tiled"``,
+        ``"numba"``, or ``"cc"``.  See :mod:`repro.kernels`.
     """
 
     topology: Topology
@@ -96,11 +105,13 @@ class PhysicalOscillatorModel:
     delays: Sequence[OneOffDelay] = ()
     v_p_override: float | None = None
     backend: str = "auto"
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.t_comp < 0 or self.t_comm < 0:
             raise ValueError("t_comp and t_comm must be non-negative")
         normalize_backend_name(self.backend)
+        normalize_kernel_name(self.kernel)
         if self.t_comp + self.t_comm <= 0:
             raise ValueError("the cycle time t_comp + t_comm must be positive")
         for d in self.delays:
@@ -143,7 +154,8 @@ class PhysicalOscillatorModel:
     # ------------------------------------------------------------------
     def realize(self, t_end: float,
                 rng: np.random.Generator | int | None = None,
-                backend: str | None = None) -> "RealizedModel":
+                backend: str | None = None,
+                kernel: str | None = None) -> "RealizedModel":
         """Freeze all stochastic channels for a concrete run.
 
         Parameters
@@ -154,6 +166,8 @@ class PhysicalOscillatorModel:
             Generator or integer seed; ``None`` uses fresh entropy.
         backend:
             Per-run override of the model's ``backend`` knob.
+        kernel:
+            Per-run override of the model's ``kernel`` knob.
         """
         if t_end <= 0:
             raise ValueError("t_end must be positive")
@@ -165,7 +179,9 @@ class PhysicalOscillatorModel:
         return RealizedModel(model=self, zeta=zeta, tau=tau,
                              delay_schedule=schedule,
                              backend=backend if backend is not None
-                             else self.backend)
+                             else self.backend,
+                             kernel=kernel if kernel is not None
+                             else self.kernel)
 
     def describe(self) -> dict:
         """Metadata dictionary used by exporters."""
@@ -178,6 +194,7 @@ class PhysicalOscillatorModel:
             "v_p": self.v_p,
             "beta_kappa": self.beta_kappa,
             "backend": self.backend,
+            "kernel": self.kernel,
             "potential": self.potential.describe(),
             "topology": self.topology.describe(),
             "coupling": self.coupling.describe(self.topology),
@@ -201,7 +218,7 @@ class RealizedModel:
 
     def __init__(self, model: PhysicalOscillatorModel, zeta: ZetaProcess,
                  tau: TauField, delay_schedule: DelaySchedule,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto", kernel: str = "auto") -> None:
         self.model = model
         self.zeta = zeta
         self.tau = tau
@@ -209,6 +226,7 @@ class RealizedModel:
         self._period = model.period
         self._n = model.n
         self._backend_request = normalize_backend_name(backend)
+        self._kernel_request = normalize_kernel_name(kernel)
         self._backend: RHSBackend | None = None
 
     # ------------------------------------------------------------------
@@ -226,7 +244,8 @@ class RealizedModel:
         pay for R unused single-state compilations.
         """
         if self._backend is None:
-            self._backend = make_backend(self, self._backend_request)
+            self._backend = make_backend(self, self._backend_request,
+                                         kernel=self._kernel_request)
         return self._backend
 
     @property

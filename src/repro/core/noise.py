@@ -46,6 +46,7 @@ __all__ = [
     "ConstantInteractionNoise",
     "RandomInteractionNoise",
     "TauField",
+    "ZeroTauField",
 ]
 
 
@@ -402,6 +403,28 @@ class TauField:
         return self._is_zero
 
 
+class ZeroTauField(TauField):
+    """A delay-free field that never materialises its ``(n, n)`` zeros.
+
+    ``NoInteractionNoise`` used to realise a literal ``(1, n, n)`` zero
+    array — 80 GB at N = 1e5.  Every consumer checks :attr:`is_zero`
+    before touching the values, so the delay-free case only needs the
+    metadata; the dense zero matrix is produced on demand in the
+    (never-taken) ``__call__`` path.
+    """
+
+    def __init__(self, n: int, dt: float) -> None:
+        super().__init__(np.zeros((1, 0, 0)), dt)
+        self._n_override = int(n)
+
+    @property
+    def n(self) -> int:
+        return self._n_override
+
+    def __call__(self, t: float) -> np.ndarray:
+        return np.zeros((self._n_override, self._n_override))
+
+
 class InteractionNoise(ABC):
     """Specification of the interaction-delay channel ``tau_ij(t)``."""
 
@@ -420,7 +443,7 @@ class NoInteractionNoise(InteractionNoise):
 
     def realize(self, n: int, t_end: float,
                 rng: np.random.Generator) -> TauField:
-        return TauField(np.zeros((1, n, n)), dt=max(t_end, 1.0))
+        return ZeroTauField(n, dt=max(t_end, 1.0))
 
 
 @dataclass

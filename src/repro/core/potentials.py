@@ -74,6 +74,20 @@ class Potential(ABC):
         """
         return None
 
+    def kernel_coefficients(self) -> tuple[int, float, float] | None:
+        """Coefficient triple ``(kind, p0, p1)`` for the fused kernels.
+
+        The compiled kernels (:mod:`repro.kernels`) evaluate the
+        potential inline per edge block and cannot call back into
+        Python, so each shipped family exposes its behaviour as a kind
+        id plus up to two parameters (see
+        :mod:`repro.kernels.coeffs` for the table).  The base
+        implementation returns ``None``: potentials without a
+        coefficient representation (e.g. :class:`CustomPotential`) keep
+        the NumPy/tiled paths, which go through ``__call__``.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Generic analysis helpers (shared by all concrete potentials)
     # ------------------------------------------------------------------
@@ -171,6 +185,10 @@ class TanhPotential(Potential):
 
         return stacked
 
+    def kernel_coefficients(self) -> tuple[int, float, float]:
+        from ..kernels.coeffs import KIND_TANH
+        return (KIND_TANH, self.gain, 0.0)
+
     def antiderivative(self, dtheta):
         """Closed form: ``U(d) = log(cosh(gain*d)) / gain`` — a convex
         well with its single minimum at synchrony."""
@@ -266,6 +284,12 @@ class BottleneckPotential(Potential):
 
         return stacked
 
+    def kernel_coefficients(self) -> tuple[int, float, float]:
+        # p1 pre-bakes the sine argument scale exactly as the stacked
+        # family evaluator does, so all paths share one formula.
+        from ..kernels.coeffs import KIND_BOTTLENECK
+        return (KIND_BOTTLENECK, self.sigma, 3.0 * np.pi / (2.0 * self.sigma))
+
     @property
     def repulsive_range(self) -> float:
         """Width of the repulsive neighbourhood of the origin."""
@@ -315,6 +339,10 @@ class KuramotoPotential(Potential):
     def stable_gap(self) -> float:
         return 0.0
 
+    def kernel_coefficients(self) -> tuple[int, float, float]:
+        from ..kernels.coeffs import KIND_KURAMOTO
+        return (KIND_KURAMOTO, 0.0, 0.0)
+
     @staticmethod
     def permits_phase_slips() -> bool:
         """Phase differences of 2*pi*k are dynamically indistinguishable."""
@@ -352,6 +380,10 @@ class LinearPotential(Potential):
             return ks * dtheta
 
         return stacked
+
+    def kernel_coefficients(self) -> tuple[int, float, float]:
+        from ..kernels.coeffs import KIND_LINEAR
+        return (KIND_LINEAR, self.k, 0.0)
 
     def describe(self) -> dict:
         d = super().describe()

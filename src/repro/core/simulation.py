@@ -82,6 +82,7 @@ def simulate(
     seed: int | None = None,
     n_samples: int | None = None,
     backend: str | None = None,
+    kernel: str | None = None,
 ) -> OscillatorTrajectory:
     """Integrate the POM from 0 to ``t_end``.
 
@@ -108,6 +109,10 @@ def simulate(
     backend:
         RHS compute backend override (``"auto"`` | ``"dense"`` |
         ``"sparse"``); default: the model's own ``backend`` knob.
+    kernel:
+        Coupling-loop kernel override (``"auto"`` | ``"numpy"`` |
+        ``"tiled"`` | ``"numba"`` | ``"cc"``, see :mod:`repro.kernels`);
+        default: the model's own ``kernel`` knob.
 
     Returns
     -------
@@ -120,7 +125,7 @@ def simulate(
     if theta0.shape != (model.n,):
         raise ValueError(f"theta0 has shape {theta0.shape}, expected ({model.n},)")
 
-    realized = model.realize(t_end, rng=seed, backend=backend)
+    realized = model.realize(t_end, rng=seed, backend=backend, kernel=kernel)
     if dt is None:
         dt = default_dt(model)
 
@@ -293,6 +298,7 @@ def simulate_batched(
     atol: float = 1e-9,
     n_samples: int | None = None,
     backend: str | None = None,
+    kernel: str | None = None,
     per_member_adaptive: bool = True,
 ) -> list[OscillatorTrajectory]:
     """Integrate a whole seed ensemble as one ``(R, N)`` super-state.
@@ -319,6 +325,9 @@ def simulate_batched(
         Euler-Maruyama draws the ``(R, N)`` Wiener increments inside the
         solver from per-seed generators, reproducing the sequential
         per-seed runs bit for bit (at equal ``dt``).
+    kernel:
+        Coupling-loop kernel for the batched backend (``"auto"`` |
+        ``"numpy"`` | ``"tiled"`` | ``"numba"`` | ``"cc"``).
     per_member_adaptive:
         Enable the per-member step-rejection control for ``"dopri"``
         (default on; turn off to force the PR-1 worst-member-drags-all
@@ -334,9 +343,10 @@ def simulate_batched(
     if len(seeds) == 0:
         raise ValueError("need at least one seed")
 
-    members = [model.realize(t_end, rng=seed, backend=backend)
+    members = [model.realize(t_end, rng=seed, backend=backend, kernel=kernel)
                for seed in seeds]
-    stacked = BatchedBackend(members)
+    stacked = BatchedBackend(members, kernel=kernel
+                             if kernel is not None else model.kernel)
     theta0s = np.stack([
         (synchronized(model.n) if theta0_factory is None
          else np.asarray(theta0_factory(seed), dtype=float))
@@ -370,6 +380,7 @@ def simulate_grid(
     rtol: float = 1e-6,
     atol: float = 1e-9,
     n_samples: int | None = None,
+    kernel: str | None = None,
     per_member_adaptive: bool = True,
 ) -> list[OscillatorTrajectory]:
     """Integrate a parameter grid of models as one ``(R, N)`` super-state.
@@ -396,7 +407,7 @@ def simulate_grid(
         Shared initial phases for all points (default: synchronised).
     theta0s:
         Per-point initial phases ``(R, N)``; overrides ``theta0``.
-    method, dt, rtol, atol, n_samples, per_member_adaptive:
+    method, dt, rtol, atol, n_samples, kernel, per_member_adaptive:
         As in :func:`simulate_batched` (``"em"`` batches too — each
         point draws its Wiener increments from its own seeded stream).
 
@@ -423,8 +434,15 @@ def simulate_grid(
             raise ValueError(
                 f"got {len(seed_list)} seeds for {len(models)} models")
 
-    members = [m.realize(t_end, rng=s) for m, s in zip(models, seed_list)]
-    stacked = make_batched_backend(members)
+    if kernel is None:
+        # Honour the models' declarative kernel field when they agree
+        # (mirrors simulate/simulate_batched); disagreeing grids fall
+        # back to auto resolution for the stacked backend.
+        model_kernels = {m.kernel for m in models}
+        kernel = model_kernels.pop() if len(model_kernels) == 1 else "auto"
+    members = [m.realize(t_end, rng=s, kernel=kernel)
+               for m, s in zip(models, seed_list)]
+    stacked = make_batched_backend(members, kernel=kernel)
 
     if theta0s is not None:
         theta0s = np.asarray(theta0s, dtype=float).copy()

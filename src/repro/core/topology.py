@@ -22,7 +22,6 @@ after ref. [4]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import networkx as nx
@@ -31,25 +30,42 @@ import numpy as np
 __all__ = [
     "Topology",
     "ring",
+    "ring_edges",
     "chain",
     "all_to_all",
     "grid2d",
     "torus2d",
+    "torus2d_edges",
     "random_topology",
     "from_edges",
     "from_networkx",
     "dependency_topology",
 ]
 
+#: dense materialisations above this many matrix entries raise instead of
+#: silently allocating tens of gigabytes (N = 1e5 would need 80 GB)
+_DENSE_LIMIT_ENTRIES = 100_000_000
 
-@dataclass
+
 class Topology:
-    """A named 0/1 coupling matrix plus the metadata the model needs.
+    """A named 0/1 coupling structure plus the metadata the model needs.
+
+    Two storage modes share one interface:
+
+    * **dense** (the default constructor): backed by an ``(N, N)`` 0/1
+      matrix, exactly as before.
+    * **edge-backed** (:meth:`from_edge_arrays`, used by the large-N
+      builders :func:`ring_edges` / :func:`torus2d_edges`): backed by the
+      row-major edge list only.  The ``matrix`` property densifies
+      lazily on first access and refuses above ``~1e8`` entries, so the
+      O(E) kernels can run at N >= 1e5 where a dense matrix would need
+      tens of gigabytes.
 
     Attributes
     ----------
     matrix:
-        ``(N, N)`` array of 0/1 floats with zero diagonal.
+        ``(N, N)`` array of 0/1 floats with zero diagonal (lazily
+        materialised for edge-backed topologies).
     distances:
         The distance multiset the topology was generated from (empty for
         generic graphs); used for the kappa rules.
@@ -59,13 +75,20 @@ class Topology:
         Whether rank indices wrap around (ring vs. open chain).
     """
 
-    matrix: np.ndarray
-    distances: tuple[int, ...] = ()
-    name: str = "custom"
-    periodic: bool = True
-
-    def __post_init__(self) -> None:
-        m = np.asarray(self.matrix, dtype=float)
+    def __init__(self, matrix: np.ndarray | None = None,
+                 distances: Iterable[int] = (), name: str = "custom",
+                 periodic: bool = True) -> None:
+        self.distances = tuple(int(d) for d in distances)
+        self.name = str(name)
+        self.periodic = bool(periodic)
+        self._edge_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._csr_cache: tuple[np.ndarray, np.ndarray] | None = None
+        if matrix is None:
+            # Populated by from_edge_arrays; bare Topology() is invalid.
+            self._matrix: np.ndarray | None = None
+            self._n = 0
+            return
+        m = np.asarray(matrix, dtype=float)
         if m.ndim != 2 or m.shape[0] != m.shape[1]:
             raise ValueError(f"topology matrix must be square, got {m.shape}")
         if not np.isin(m, (0.0, 1.0)).all():
@@ -73,26 +96,85 @@ class Topology:
         if np.any(np.diag(m) != 0):
             raise ValueError("topology matrix must have a zero diagonal "
                              "(no self-coupling)")
-        self.matrix = m
-        self.distances = tuple(int(d) for d in self.distances)
-        self._edge_cache: tuple[np.ndarray, np.ndarray] | None = None
-        self._csr_cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._matrix = m
+        self._n = int(m.shape[0])
+
+    @classmethod
+    def from_edge_arrays(cls, n: int, rows: np.ndarray, cols: np.ndarray, *,
+                         distances: Iterable[int] = (), name: str = "custom",
+                         periodic: bool = True) -> "Topology":
+        """Build an edge-backed topology without a dense matrix.
+
+        ``rows``/``cols`` are directed-edge endpoint arrays; they are
+        validated, deduplicated, and sorted row-major so the kernels see
+        the exact edge order a dense ``np.nonzero`` would produce.
+        """
+        n = int(n)
+        if n < 1:
+            raise ValueError("need at least one process")
+        rows = np.asarray(rows, dtype=np.intp).ravel()
+        cols = np.asarray(cols, dtype=np.intp).ravel()
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have equal length")
+        if rows.size and (rows.min() < 0 or rows.max() >= n
+                          or cols.min() < 0 or cols.max() >= n):
+            raise ValueError(f"edge endpoints out of range for n={n}")
+        if np.any(rows == cols):
+            raise ValueError("topology matrix must have a zero diagonal "
+                             "(no self-coupling)")
+        flat = np.unique(rows * n + cols)      # dedupe + row-major sort
+        rows = (flat // n).astype(np.intp)
+        cols = (flat % n).astype(np.intp)
+        rows.setflags(write=False)
+        cols.setflags(write=False)
+        topo = cls(matrix=None, distances=distances, name=name,
+                   periodic=periodic)
+        topo._n = n
+        topo._edge_cache = (rows, cols)
+        return topo
+
+    def __repr__(self) -> str:
+        mode = "dense" if self._matrix is not None else "edges"
+        return (f"Topology(name={self.name!r}, n={self.n}, "
+                f"n_edges={self.n_edges}, {mode})")
 
     # ------------------------------------------------------------------
     @property
+    def matrix(self) -> np.ndarray:
+        """The dense ``(N, N)`` coupling matrix (lazy for edge-backed)."""
+        if self._matrix is None:
+            n = self._n
+            if self._edge_cache is None:
+                raise ValueError("topology has neither a matrix nor edges")
+            if n * n > _DENSE_LIMIT_ENTRIES:
+                raise MemoryError(
+                    f"refusing to densify {self.name!r} (N={n}: the matrix "
+                    f"would hold {n * n:.2e} entries); use the edge-native "
+                    "consumers (edge_list/csr) at this scale"
+                )
+            rows, cols = self._edge_cache
+            m = np.zeros((n, n))
+            m[rows, cols] = 1.0
+            self._matrix = m
+        return self._matrix
+
+    @property
     def n(self) -> int:
         """Number of oscillators/processes."""
-        return int(self.matrix.shape[0])
+        return self._n
 
     @property
     def n_edges(self) -> int:
         """Number of directed couplings (nonzero entries)."""
-        return int(np.count_nonzero(self.matrix))
+        return int(self.edge_list()[0].size)
 
     @property
     def is_symmetric(self) -> bool:
         """True if coupling is bidirectional everywhere."""
-        return bool(np.array_equal(self.matrix, self.matrix.T))
+        rows, cols = self.edge_list()
+        fwd = rows * self.n + cols
+        rev = np.sort(cols * self.n + rows)
+        return bool(np.array_equal(fwd, rev))
 
     @property
     def density(self) -> float:
@@ -132,11 +214,13 @@ class Topology:
 
     def degree(self) -> np.ndarray:
         """Out-degree (number of partners) of each oscillator."""
-        return self.matrix.sum(axis=1)
+        rows, _ = self.edge_list()
+        return np.bincount(rows, minlength=self.n).astype(float)
 
     def neighbors(self, i: int) -> np.ndarray:
         """Indices of the partners of oscillator ``i``."""
-        return np.flatnonzero(self.matrix[i])
+        indptr, indices = self.csr()
+        return indices[indptr[i]:indptr[i + 1]]
 
     # ------------------------------------------------------------------
     # kappa rules (paper Sec. 3.1)
@@ -176,7 +260,7 @@ class Topology:
         if n == 0:
             return ()
         offsets: list[int] = []
-        row = np.flatnonzero(self.matrix[0])
+        row = self.neighbors(0)
         for j in row:
             off = int(j)
             if self.periodic and off > n // 2:
@@ -204,7 +288,7 @@ class Topology:
         """Export as a directed networkx graph."""
         g = nx.DiGraph()
         g.add_nodes_from(range(self.n))
-        rows, cols = np.nonzero(self.matrix)
+        rows, cols = self.edge_list()
         g.add_edges_from(zip(rows.tolist(), cols.tolist()))
         return g
 
@@ -260,6 +344,33 @@ def ring(n: int, distances: Iterable[int] = (1, -1), *,
     np.fill_diagonal(m, 0.0)
     return Topology(matrix=m, distances=dists,
                     name=f"ring{sorted(set(dists))}", periodic=True)
+
+
+def ring_edges(n: int, distances: Iterable[int] = (1, -1), *,
+               symmetrize: bool = True) -> Topology:
+    """Edge-backed :func:`ring` for large N.
+
+    Builds the identical edge set (and name/metadata) as ``ring(n,
+    distances)`` directly as vectorised index arrays — O(E) time and
+    memory instead of the O(N^2) dense matrix, which makes N >= 1e5
+    rings tractable for the edge-list and fused kernels.
+    """
+    if n < 2:
+        raise ValueError("need at least two processes")
+    dists = _normalise_distances(distances)
+    dset = set(dists)
+    if symmetrize:
+        dset |= {-d for d in dists}
+    i = np.arange(n, dtype=np.intp)
+    rows_parts, cols_parts = [], []
+    for d in sorted(dset):
+        j = (i + d) % n
+        keep = j != i                       # distances that are multiples of n
+        rows_parts.append(i[keep])
+        cols_parts.append(j[keep])
+    return Topology.from_edge_arrays(
+        n, np.concatenate(rows_parts), np.concatenate(cols_parts),
+        distances=dists, name=f"ring{sorted(set(dists))}", periodic=True)
 
 
 def chain(n: int, distances: Iterable[int] = (1, -1), *,
@@ -330,6 +441,28 @@ def grid2d(nx_: int, ny_: int, *, periodic: bool = False) -> Topology:
 def torus2d(nx_: int, ny_: int) -> Topology:
     """Periodic 2-D grid (convenience wrapper)."""
     return grid2d(nx_, ny_, periodic=True)
+
+
+def torus2d_edges(nx_: int, ny_: int) -> Topology:
+    """Edge-backed :func:`torus2d` for large N (same edge set and name).
+
+    The 5-point periodic halo as vectorised index arrays: rank
+    ``iy*nx + ix`` couples to its four wrapped Cartesian neighbours.
+    """
+    if nx_ < 1 or ny_ < 1 or nx_ * ny_ < 2:
+        raise ValueError("grid must contain at least two processes")
+    n = nx_ * ny_
+    r = np.arange(n, dtype=np.intp)
+    ix, iy = r % nx_, r // nx_
+    rows_parts, cols_parts = [], []
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        j = ((iy + dy) % ny_) * nx_ + (ix + dx) % nx_
+        keep = j != r                       # 1-wide axes wrap onto self
+        rows_parts.append(r[keep])
+        cols_parts.append(j[keep])
+    return Topology.from_edge_arrays(
+        n, np.concatenate(rows_parts), np.concatenate(cols_parts),
+        distances=(), name=f"torus2d[{nx_}x{ny_}]", periodic=True)
 
 
 def random_topology(n: int, p: float, *, rng: np.random.Generator | None = None,

@@ -126,7 +126,7 @@ class OscillatorTrajectory:
         (or oscillate tightly around) zeros of the potential.
         """
         if pairs is None:
-            rows, cols = np.nonzero(self.model.topology.matrix)
+            rows, cols = self.model.topology.edge_list()
             pairs = list(zip(rows.tolist(), cols.tolist()))
         diffs = self.phase_differences(pairs)
         return np.asarray(self.model.potential(diffs), dtype=float)

@@ -15,7 +15,7 @@ CLAIM-KM  — the plain Kuramoto model cannot reproduce the parallel-
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -26,7 +26,6 @@ from ..core import (
     OneOffDelay,
     PhysicalOscillatorModel,
     TanhPotential,
-    all_to_all,
     ring,
     simulate,
     simulate_grid,

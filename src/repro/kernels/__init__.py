@@ -1,0 +1,159 @@
+"""Compiled and tiled coupling kernels for large-N topologies.
+
+The RHS backends (:mod:`repro.backends`) delegate the hot coupling loop
+— gather partner phases over the edge list, evaluate the interaction
+potential, scatter-accumulate per row — to one of four interchangeable
+*kernels*, selected by the ``kernel=`` knob threaded through
+``make_backend`` / ``make_batched_backend``, ``simulate*``, and the CLI:
+
+``"numpy"``
+    The PR-1/PR-2 vectorised edge-list path (one ``(R, E)`` round-trip
+    per evaluation).  Always available; the reference implementation.
+``"tiled"``
+    CSR-tiled NumPy (:mod:`repro.kernels.tiled`): the same arithmetic
+    blocked over row-aligned edge ranges so the scratch stays
+    cache-resident.  Works for *any* potential, including
+    ``CustomPotential``.
+``"numba"``
+    Numba-jitted fused kernel (:mod:`repro.kernels.numba_kernels`).
+    Requires the optional ``fast`` extra (``pip install -e .[fast]``)
+    and a potential family with kernel coefficients.
+``"cc"``
+    Fused kernel compiled on first use with the system C compiler and
+    loaded via ctypes (:mod:`repro.kernels.cc`).  Same requirements as
+    ``"numba"`` minus the Python package: any working ``cc`` will do.
+
+``"auto"`` resolves, in order: ``numba`` (when importable), ``cc`` (when
+a compiler is available) — both only if every potential in the batch
+exposes :meth:`~repro.core.potentials.Potential.kernel_coefficients` —
+then ``tiled`` for problems with at least ``TILED_AUTO_MIN_EDGES``
+edges, else ``numpy``.  Delayed (DDE) evaluations always use the NumPy
+edge-patching path regardless of the knob; the kernels cover the
+non-delayed fast path that dominates every paper workload.
+"""
+
+from __future__ import annotations
+
+from .cc import cc_available
+from .coeffs import (
+    KIND_BOTTLENECK,
+    KIND_KURAMOTO,
+    KIND_LINEAR,
+    KIND_NAMES,
+    KIND_TANH,
+    eval_coefficients,
+    family_coefficients,
+)
+from .numba_kernels import numba_available
+from .tiled import TiledBatchedCoupling, TiledSingleCoupling, TilePlan
+
+__all__ = [
+    "KERNELS",
+    "TILED_AUTO_MIN_EDGES",
+    "available_kernels",
+    "normalize_kernel_name",
+    "resolve_kernel",
+    "compiled_kernel_name",
+    "cc_available",
+    "numba_available",
+    "family_coefficients",
+    "eval_coefficients",
+    "KIND_TANH",
+    "KIND_BOTTLENECK",
+    "KIND_KURAMOTO",
+    "KIND_LINEAR",
+    "KIND_NAMES",
+    "TilePlan",
+    "TiledSingleCoupling",
+    "TiledBatchedCoupling",
+]
+
+#: names accepted by the ``kernel=`` knobs
+KERNELS = ("auto", "numpy", "tiled", "numba", "cc")
+
+#: edge count from which "auto" prefers the tiled over the plain NumPy
+#: path when no compiled kernel is available (below it the single
+#: un-tiled round-trip is already cache-resident)
+TILED_AUTO_MIN_EDGES = 8192
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names accepted by the ``kernel=`` knobs (availability not implied)."""
+    return KERNELS
+
+
+def normalize_kernel_name(name: str | None) -> str:
+    """Validate a ``kernel=`` knob value; returns the canonical key.
+
+    The single source of the "unknown kernel" error, shared by the
+    declarative model field, the realisation-time override, the backend
+    constructors, and the CLI.
+    """
+    key = (name or "auto").strip().lower()
+    if key not in KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; available: {', '.join(KERNELS)}")
+    return key
+
+
+def compiled_kernel_name() -> str | None:
+    """The preferred available compiled kernel, or ``None``."""
+    if numba_available():
+        return "numba"
+    if cc_available():
+        return "cc"
+    return None
+
+
+def resolve_kernel(name: str | None, *, has_coefficients: bool, n_edges: int) -> str:
+    """Resolve a ``kernel=`` request to a concrete, runnable kernel.
+
+    Parameters
+    ----------
+    name:
+        The knob value (``None`` means ``"auto"``).
+    has_coefficients:
+        Whether every potential involved exposes kernel coefficients
+        (compiled kernels evaluate the potential inline and cannot call
+        back into Python).
+    n_edges:
+        Edge count of the topology — drives the tiled-vs-numpy choice.
+
+    ``"auto"`` silently falls back; explicit requests fail loudly when
+    the kernel cannot run, so a benchmark or test never quietly measures
+    the wrong code path.
+    """
+    key = normalize_kernel_name(name)
+    if key == "auto":
+        if has_coefficients:
+            compiled = compiled_kernel_name()
+            if compiled is not None:
+                return compiled
+        return "tiled" if n_edges >= TILED_AUTO_MIN_EDGES else "numpy"
+    if key == "numba":
+        if not numba_available():
+            raise RuntimeError(
+                'kernel "numba" requested but numba is not installed; '
+                "install the fast extra (pip install -e .[fast]) or use "
+                'kernel="cc"/"tiled"/"auto"'
+            )
+        if not has_coefficients:
+            raise ValueError(
+                'kernel "numba" requires potentials with kernel '
+                "coefficients (the shipped tanh/bottleneck/kuramoto/"
+                "linear families); custom potentials need "
+                'kernel="tiled" or "numpy"'
+            )
+    if key == "cc":
+        if not cc_available():
+            raise RuntimeError(
+                'kernel "cc" requested but no working C compiler was '
+                'found; use kernel="numba"/"tiled"/"auto"'
+            )
+        if not has_coefficients:
+            raise ValueError(
+                'kernel "cc" requires potentials with kernel '
+                "coefficients (the shipped tanh/bottleneck/kuramoto/"
+                "linear families); custom potentials need "
+                'kernel="tiled" or "numpy"'
+            )
+    return key

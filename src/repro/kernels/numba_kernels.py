@@ -1,0 +1,107 @@
+"""Numba-jitted fused gather-potential-scatter kernels.
+
+The JIT twin of :mod:`repro.kernels.cc`: the same single-state and
+batched fused CSR walks, compiled by numba instead of the system C
+compiler.  Numba is an *optional* dependency (``pip install -e .[fast]``);
+when it is missing, :func:`numba_available` returns False and the
+``"auto"`` kernel resolution falls through to the compiled-C / tiled /
+NumPy paths.  The CI matrix runs the test suite both with and without
+numba so neither path can rot.
+
+The loops mirror the NumPy semantics exactly: per-row accumulation in
+row-major edge order (the ``np.bincount`` order), potential formulas
+identical to :func:`repro.kernels.coeffs.eval_coefficients`.  Branching
+on the potential kind happens once per member, outside the edge loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["numba_available", "fused_single", "fused_batched"]
+
+try:  # pragma: no cover - exercised only on the with-numba CI leg
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover
+    njit = None
+    HAVE_NUMBA = False
+
+
+def numba_available() -> bool:
+    """True when numba is importable (``pip install -e .[fast]``)."""
+    return HAVE_NUMBA
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only on the with-numba CI leg
+
+    @njit(cache=False)
+    def _coupling_row(rows, cols, theta, out, kind, p0, p1, vp_over_n):
+        n = theta.shape[0]
+        n_edges = rows.shape[0]
+        for i in range(n):
+            out[i] = 0.0
+        if kind == 0:  # tanh
+            for e in range(n_edges):
+                d = theta[cols[e]] - theta[rows[e]]
+                out[rows[e]] += math.tanh(p0 * d)
+        elif kind == 1:  # bottleneck
+            for e in range(n_edges):
+                d = theta[cols[e]] - theta[rows[e]]
+                if abs(d) < p0:
+                    out[rows[e]] += -math.sin(p1 * d)
+                elif d > 0.0:
+                    out[rows[e]] += 1.0
+                elif d < 0.0:
+                    out[rows[e]] += -1.0
+        elif kind == 2:  # kuramoto
+            for e in range(n_edges):
+                d = theta[cols[e]] - theta[rows[e]]
+                out[rows[e]] += math.sin(d)
+        else:  # linear
+            for e in range(n_edges):
+                d = theta[cols[e]] - theta[rows[e]]
+                out[rows[e]] += p0 * d
+        for i in range(n):
+            out[i] *= vp_over_n
+
+    @njit(cache=False)
+    def _fused_batched_impl(rows, cols, theta, out, kinds, p0, p1, vp_over_n):
+        r_count = theta.shape[0]
+        for r in range(r_count):
+            _coupling_row(
+                rows, cols, theta[r], out[r], kinds[r], p0[r], p1[r], vp_over_n[r]
+            )
+
+
+def fused_single(
+    rows32: np.ndarray,
+    cols32: np.ndarray,
+    theta: np.ndarray,
+    out: np.ndarray,
+    kind: int,
+    p0: float,
+    p1: float,
+    vp_over_n: float,
+) -> np.ndarray:
+    """Coupling term for one ``(N,)`` state into ``out`` (requires numba)."""
+    _coupling_row(rows32, cols32, theta, out, kind, p0, p1, vp_over_n)
+    return out
+
+
+def fused_batched(
+    rows32: np.ndarray,
+    cols32: np.ndarray,
+    theta: np.ndarray,
+    out: np.ndarray,
+    kinds: np.ndarray,
+    p0: np.ndarray,
+    p1: np.ndarray,
+    vp_over_n: np.ndarray,
+) -> np.ndarray:
+    """Coupling terms for an ``(R, N)`` super-state into ``out`` (numba)."""
+    _fused_batched_impl(rows32, cols32, theta, out, kinds, p0, p1, vp_over_n)
+    return out

@@ -21,7 +21,7 @@ bottleneck-evasion feedback described in the paper (Sec. 1.2, refs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from .engine import EventEngine, EventHandle

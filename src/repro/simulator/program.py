@@ -13,7 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.coupling import Protocol
-from .kernels import Kernel, PiSolverKernel, StreamTriadKernel
+from .kernels import Kernel
 from .machine import MachineSpec
 from .mpi import ClusterSimulator, ProgramSpec
 from .network import NetworkModel

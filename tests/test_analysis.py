@@ -12,7 +12,6 @@ from repro.analysis import (
     measure_trace_wave,
     saturation_point,
     trace_arrival_times,
-    wavefront_slope,
 )
 from repro.simulator import (
     ClusterSimulator,

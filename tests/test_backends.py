@@ -15,7 +15,6 @@ from repro.backends import (
     SPARSE_DENSITY_THRESHOLD,
     BatchedBackend,
     DenseBackend,
-    SparseBackend,
     auto_backend_name,
     available_backends,
     make_backend,

@@ -1,0 +1,123 @@
+"""Tests for the CI perf-regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_regression", check_regression)
+spec.loader.exec_module(check_regression)
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+BASELINE = {
+    "benchmark": "backends",
+    "quick": True,
+    "rhs_ring": {"dense_s": 1.0, "sparse_s": 0.01,
+                 "speedup_sparse_vs_dense": 100.0},
+    "kernel_ladder": [
+        {"n": 4096,
+         "batched": {"numpy": 1.0, "cc": 0.25,
+                     "speedup_cc_vs_numpy": 4.0}},
+    ],
+}
+
+
+class TestIterSpeedups:
+    def test_finds_nested_and_listed_keys(self):
+        found = dict(check_regression.iter_speedups(BASELINE))
+        assert found == {
+            "rhs_ring.speedup_sparse_vs_dense": 100.0,
+            "kernel_ladder[0].batched.speedup_cc_vs_numpy": 4.0,
+        }
+
+    def test_ignores_non_numeric(self):
+        found = dict(check_regression.iter_speedups(
+            {"speedup_x": "fast", "a": {"speedup_y": 2.0}}))
+        assert found == {"a.speedup_y": 2.0}
+
+
+class TestGate:
+    def test_identical_passes(self, tmp_path):
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", BASELINE)
+        assert check_regression.main(["--pair", base, cur]) == 0
+
+    def test_improvement_passes(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["rhs_ring"]["speedup_sparse_vs_dense"] = 500.0
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_regression.main(["--pair", base, cur]) == 0
+
+    def test_within_tolerance_passes(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["rhs_ring"]["speedup_sparse_vs_dense"] = 51.0  # > 0.5 * 100
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_regression.main(["--pair", base, cur]) == 0
+
+    def test_degradation_fails(self, tmp_path, capsys):
+        current = json.loads(json.dumps(BASELINE))
+        current["rhs_ring"]["speedup_sparse_vs_dense"] = 49.0  # < 0.5 * 100
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_regression.main(["--pair", base, cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_tolerance(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["rhs_ring"]["speedup_sparse_vs_dense"] = 49.0
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_regression.main(
+            ["--pair", base, cur, "--tolerance", "0.4"]) == 0
+
+    def test_missing_key_fails(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        del current["kernel_ladder"][0]["batched"]["speedup_cc_vs_numpy"]
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_regression.main(["--pair", base, cur]) == 1
+
+    def test_new_key_is_informational(self, tmp_path, capsys):
+        current = json.loads(json.dumps(BASELINE))
+        current["extra"] = {"speedup_new_vs_old": 2.0}
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_regression.main(["--pair", base, cur]) == 0
+        assert "new (no baseline)" in capsys.readouterr().out
+
+    def test_multiple_pairs(self, tmp_path):
+        other = {"benchmark": "sweeps", "quick": True,
+                 "sweep": {"speedup_batched_vs_looped": 5.0}}
+        bad = json.loads(json.dumps(other))
+        bad["sweep"]["speedup_batched_vs_looped"] = 1.0
+        b1 = _write(tmp_path, "b1.json", BASELINE)
+        c1 = _write(tmp_path, "c1.json", BASELINE)
+        b2 = _write(tmp_path, "b2.json", other)
+        c2 = _write(tmp_path, "c2.json", bad)
+        assert check_regression.main(
+            ["--pair", b1, c1, "--pair", b2, c2]) == 1
+        assert check_regression.main(
+            ["--pair", b1, c1, "--pair", b2, c2, "--tolerance", "0.2"]) == 0
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        base = _write(tmp_path, "b.json", BASELINE)
+        with pytest.raises(SystemExit):
+            check_regression.main(
+                ["--pair", base, base, "--tolerance", "1.5"])

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    BottleneckPotential,
     ConstantInteractionNoise,
     CouplingSpec,
     GaussianJitter,
@@ -14,7 +13,6 @@ from repro.core import (
     PhysicalOscillatorModel,
     Protocol,
     TanhPotential,
-    all_to_all,
     ring,
 )
 from repro.integrate import HistoryBuffer

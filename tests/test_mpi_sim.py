@@ -13,7 +13,6 @@ from repro.simulator import (
     PiSolverKernel,
     ProgramSpec,
     StreamTriadKernel,
-    Trace,
 )
 from repro.simulator.trace import Activity
 

@@ -7,7 +7,7 @@ benchmarks and EXPERIMENTS.md.
 import numpy as np
 import pytest
 
-from repro.analysis import analyze_desync, compare_scenario, measure_trace_wave
+from repro.analysis import compare_scenario, measure_trace_wave
 from repro.core import (
     BottleneckPotential,
     CouplingSpec,
