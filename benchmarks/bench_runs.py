@@ -1,0 +1,187 @@
+"""Run-orchestration benchmark — JSON artefact writer.
+
+Measures the two claims of the campaign layer (:mod:`repro.runs`):
+
+1. **Sharded multiprocess execution** — a fixed-step sigma x seed
+   campaign compiled into bounded shards and executed with ``jobs=1``
+   vs ``jobs=4``.  Fixed-step members are arithmetically independent,
+   so the two runs are *bit-for-bit identical* (asserted here) and the
+   speedup is pure orchestration win.  (On single-core CI runners the
+   ratio hovers around 1; the regression gate floors it well below
+   that, so the gate catches orchestration overhead blow-ups, not
+   missing cores.)
+2. **Warm-cache replay** — the same campaign against a fresh
+   content-addressed cache: the cold run solves and stores every
+   shard, the warm run must be a pure cache hit (zero solves —
+   asserted), replaying in milliseconds.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_runs.py --out BENCH_runs.json
+
+``--quick`` shrinks the campaign for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import tempfile
+import time
+from statistics import median
+
+import numpy as np
+
+from repro.runs import ScenarioSpec, ResultCache, compile_plan, run_plan
+
+
+def _time(fn, repeats: int) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(median(times))
+
+
+def campaign(n_sigmas: int, n_seeds: int, n_ranks: int,
+             t_end: float) -> ScenarioSpec:
+    """The benchmark campaign: a bottleneck-horizon x seed grid (rk4)."""
+    return ScenarioSpec(
+        name="bench-runs",
+        model={
+            "topology": {"kind": "ring", "n": n_ranks,
+                         "distances": [1, -1]},
+            "potential": {"kind": "bottleneck", "sigma": 1.0},
+            "t_comp": 0.9,
+            "t_comm": 0.1,
+            "local_noise": {"kind": "gaussian", "std": 0.01,
+                            "refresh": 0.5},
+        },
+        t_end=t_end,
+        solver={"method": "rk4"},
+        initial={"kind": "normal", "std": 1e-3, "seed": 0},
+        axes=[
+            ("potential.sigma",
+             np.linspace(0.5, 2.5, n_sigmas).tolist()),
+            ("seed", list(range(n_seeds))),
+        ],
+    )
+
+
+def bench_sharded_jobs(spec: ScenarioSpec, shard_members: int,
+                       jobs: int, repeats: int) -> dict:
+    """jobs=1 vs jobs=N wall-clock on the same shard decomposition."""
+    plan = compile_plan(spec, shard_members=shard_members)
+
+    r1 = run_plan(plan, jobs=1)
+    rn = run_plan(plan, jobs=jobs)
+    max_diff = max(
+        float(np.abs(a.thetas - b.thetas).max())
+        for a, b in zip(r1.members, rn.members)
+    )
+    if max_diff != 0.0:
+        raise AssertionError(
+            f"jobs=1 and jobs={jobs} disagree (max |diff| {max_diff:g})")
+
+    t1 = _time(lambda: run_plan(plan, jobs=1), repeats)
+    tn = _time(lambda: run_plan(plan, jobs=jobs), repeats)
+    return {
+        "members": plan.n_members,
+        "shards": plan.n_shards,
+        "shard_members": shard_members,
+        "jobs": jobs,
+        "jobs1_s": t1,
+        f"jobs{jobs}_s": tn,
+        f"speedup_jobs{jobs}_vs_jobs1": t1 / tn,
+        "max_abs_diff_vs_jobs1": max_diff,
+    }
+
+
+def bench_cache_replay(spec: ScenarioSpec, shard_members: int,
+                       repeats: int) -> dict:
+    """Cold solve-and-store vs warm pure-cache-hit replay."""
+    plan = compile_plan(spec, shard_members=shard_members)
+    with tempfile.TemporaryDirectory(prefix="pom-bench-cache-") as d:
+        cache = ResultCache(d)
+        t0 = time.perf_counter()
+        cold = run_plan(plan, jobs=1, cache=cache)
+        cold_s = time.perf_counter() - t0
+        if cold.n_executed != plan.n_shards:
+            raise AssertionError("cold run was not fully executed")
+
+        warm = run_plan(plan, jobs=1, cache=cache)
+        if warm.n_executed != 0:
+            raise AssertionError(
+                f"warm replay executed {warm.n_executed} shard(s); "
+                "expected a pure cache hit")
+        # Replays are milliseconds — always take a few samples so one
+        # cold-page hiccup cannot poison the gated ratio.
+        warm_s = _time(lambda: run_plan(plan, jobs=1, cache=cache),
+                       max(repeats, 3))
+        size = cache.store.size_bytes()
+    return {
+        "members": plan.n_members,
+        "shards": plan.n_shards,
+        "cold_solve_s": cold_s,
+        "warm_replay_s": warm_s,
+        "speedup_warm_replay_vs_cold": cold_s / warm_s,
+        "cache_bytes": size,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--out", default="BENCH_runs.json",
+                   help="output JSON path")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller campaign for CI smoke jobs")
+    p.add_argument("--jobs", type=int, default=4,
+                   help="worker count for the multiprocess leg")
+    args = p.parse_args(argv)
+
+    if args.quick:
+        n_sigmas, n_seeds, n_ranks, t_end = 4, 2, 24, 40.0
+        shard_members, repeats = 2, 1
+    else:
+        n_sigmas, n_seeds, n_ranks, t_end = 8, 2, 32, 120.0
+        shard_members, repeats = 2, 3
+
+    spec = campaign(n_sigmas, n_seeds, n_ranks, t_end)
+    result = {
+        "benchmark": "runs",
+        "quick": args.quick,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "sharded_sweep": bench_sharded_jobs(spec, shard_members, args.jobs,
+                                            repeats),
+        "cache_replay": bench_cache_replay(spec, shard_members, repeats),
+    }
+
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    s = result["sharded_sweep"]
+    jobs = s["jobs"]
+    print(f"sharded sweep {s['members']} members / {s['shards']} shards: "
+          f"jobs=1 {s['jobs1_s']:.2f} s, jobs={jobs} "
+          f"{s[f'jobs{jobs}_s']:.2f} s "
+          f"=> {s[f'speedup_jobs{jobs}_vs_jobs1']:.2f}x "
+          f"(max |diff|: {s['max_abs_diff_vs_jobs1']:g})")
+    c = result["cache_replay"]
+    print(f"cache replay: cold {c['cold_solve_s']:.2f} s, warm "
+          f"{c['warm_replay_s']:.4f} s "
+          f"=> {c['speedup_warm_replay_vs_cold']:.0f}x "
+          f"({c['cache_bytes'] / 1e6:.1f} MB stored)")
+    print(f"written: {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,12 @@ baseline value, 1 otherwise.  Speedup keys present only in the baseline
 (a benchmark was removed) also fail; keys present only in the current
 run (a benchmark was added) are reported informationally.  Only stdlib
 is used, so the gate runs before any project dependency is installed.
+
+On failure the report names, per offending key, the committed baseline
+file and the exact command that refreshes it — so a PR that
+*legitimately* shifts a ratio (a faster kernel changes the denominator,
+say) can update ``benchmarks/baselines/*.quick.json`` without spelunking
+through CI logs.
 """
 
 from __future__ import annotations
@@ -45,6 +51,20 @@ def iter_speedups(obj, path: str = "") -> Iterator[tuple[str, float]]:
     elif isinstance(obj, list):
         for i, value in enumerate(obj):
             yield from iter_speedups(value, f"{path}[{i}]")
+
+
+def refresh_command(baseline: dict, baseline_path: str) -> str:
+    """The exact command that re-measures and overwrites a baseline.
+
+    The ``benchmark`` field of the artefact names the producing script
+    (``bench_<name>.py`` — the convention every benchmark follows).
+    """
+    name = baseline.get("benchmark", "<name>")
+    quick = " --quick" if baseline.get("quick") else ""
+    return (
+        f"PYTHONPATH=src python benchmarks/bench_{name}.py{quick} "
+        f"--out {baseline_path}"
+    )
 
 
 def compare(baseline: dict, current: dict, tolerance: float, label: str) -> list[str]:
@@ -99,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("tolerance must be in (0, 1]")
 
     failures: list[str] = []
+    hints: list[str] = []
     for baseline_path, current_path in args.pair:
         with open(baseline_path) as fh:
             baseline = json.load(fh)
@@ -110,12 +131,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"{label}: warning: comparing quick={current.get('quick')} "
                 f"against baseline quick={baseline.get('quick')}"
             )
-        failures.extend(compare(baseline, current, args.tolerance, label))
+        pair_failures = compare(baseline, current, args.tolerance, label)
+        if pair_failures:
+            hints.append(
+                f"{label}: committed baseline: {baseline_path}\n"
+                f"    if this PR legitimately shifts the ratio, refresh "
+                f"it with:\n"
+                f"    {refresh_command(baseline, baseline_path)}"
+            )
+        failures.extend(pair_failures)
 
     if failures:
         print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
         for msg in failures:
             print(f"  - {msg}", file=sys.stderr)
+        for hint in hints:
+            print(hint, file=sys.stderr)
         return 1
     print("\nperf-regression gate: all speedups within tolerance")
     return 0

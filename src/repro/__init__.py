@@ -19,6 +19,11 @@ Packages
     From-scratch ODE/SDE/DDE solvers (Dormand-Prince 5(4), RK4, Euler,
     Euler-Maruyama, delay-history buffers); shape-agnostic, so whole
     seed ensembles integrate as stacked ``(R, N)`` super-states.
+:mod:`repro.runs`
+    Run orchestration: declarative :class:`~repro.runs.ScenarioSpec`
+    campaigns, a planner fusing grid points into batched solves, a
+    sharded multiprocess executor, and a content-addressed result
+    cache with resume.
 :mod:`repro.simulator`
     A discrete-event MPI cluster simulator (the validation substrate
     replacing the paper's Meggie runs): Irecv/Send/Waitall semantics,
@@ -48,9 +53,9 @@ Quickstart
 16
 """
 
-from . import analysis, backends, core, integrate, metrics, simulator
+from . import analysis, backends, core, integrate, metrics, runs, simulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["analysis", "backends", "core", "integrate", "metrics",
+__all__ = ["analysis", "backends", "core", "integrate", "metrics", "runs",
            "simulator", "__version__"]

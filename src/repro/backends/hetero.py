@@ -182,10 +182,10 @@ class HeteroBatchedBackend:
             self._cols32 = np.ascontiguousarray(self._cols, dtype=np.int32)
             self._vps_flat = np.ascontiguousarray(self._vps.ravel())
             # Distance rings (the paper's halo exchanges) additionally
-            # drop the gathers/scatters for contiguous shifted passes.
-            self._ring_offsets = (cc_kernels.ring_offsets(
+            # drop the gathers/scatters for contiguous shifted passes —
+            # both compiled kernels carry the specialisation.
+            self._ring_offsets = cc_kernels.ring_offsets(
                 self._rows, self._cols, self._n)
-                if self.kernel == "cc" else None)
         # Preallocated (R, E) scratch for the non-delayed numpy kernel.
         e = self._rows.size
         if self.kernel == "numpy":
@@ -281,16 +281,15 @@ class HeteroBatchedBackend:
             if self._rows32 is not None:
                 kinds, p0, p1 = self._coeffs
                 theta = np.ascontiguousarray(theta, dtype=float)
+                mod = cc_kernels if self.kernel == "cc" else numba_kernels
                 if self._ring_offsets is not None:
-                    return cc_kernels.ring_batched(
+                    return mod.ring_batched(
                         self._ring_offsets, theta,
                         np.empty((self._r, self._n)), kinds, p0, p1,
                         self._vps_flat)
-                fn = (cc_kernels.fused_batched if self.kernel == "cc"
-                      else numba_kernels.fused_batched)
-                return fn(self._rows32, self._cols32, theta,
-                          np.empty((self._r, self._n)), kinds, p0, p1,
-                          self._vps_flat)
+                return mod.fused_batched(self._rows32, self._cols32, theta,
+                                         np.empty((self._r, self._n)),
+                                         kinds, p0, p1, self._vps_flat)
             # Gather into the preallocated scratch; d_edge = theta[:, cols]
             # - theta[:, rows] without per-call allocations.
             np.take(theta, cols, axis=1, out=self._d_edge)

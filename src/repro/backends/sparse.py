@@ -63,22 +63,22 @@ class SparseBackend(RHSBackend):
             self._rows32 = np.ascontiguousarray(self._rows, dtype=np.int32)
             self._cols32 = np.ascontiguousarray(self._cols, dtype=np.int32)
             # Distance rings (the paper's halo exchanges) additionally
-            # drop the gathers/scatters for contiguous shifted passes.
-            self._ring_offsets = (cc_kernels.ring_offsets(
+            # drop the gathers/scatters for contiguous shifted passes —
+            # both compiled kernels carry the specialisation.
+            self._ring_offsets = cc_kernels.ring_offsets(
                 self._rows, self._cols, self._n)
-                if self.kernel == "cc" else None)
 
     def _fused_coupling(self, theta: np.ndarray) -> np.ndarray:
         kind, p0, p1 = self._coeffs
         theta = np.ascontiguousarray(theta, dtype=float)
+        mod = cc_kernels if self.kernel == "cc" else numba_kernels
         if self._ring_offsets is not None:
-            return cc_kernels.ring_single(self._ring_offsets, theta,
-                                          np.empty(self._n), kind, p0, p1,
-                                          self._vp_over_n)
-        fn = (cc_kernels.fused_single if self.kernel == "cc"
-              else numba_kernels.fused_single)
-        return fn(self._rows32, self._cols32, theta, np.empty(self._n),
-                  kind, p0, p1, self._vp_over_n)
+            return mod.ring_single(self._ring_offsets, theta,
+                                   np.empty(self._n), kind, p0, p1,
+                                   self._vp_over_n)
+        return mod.fused_single(self._rows32, self._cols32, theta,
+                                np.empty(self._n), kind, p0, p1,
+                                self._vp_over_n)
 
     def coupling(self, t: float, theta: np.ndarray,
                  history: "HistoryBuffer | None" = None) -> np.ndarray:

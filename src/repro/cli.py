@@ -4,8 +4,13 @@ Subcommands
 -----------
 ``pom list``
     Show the available experiments.
-``pom run <experiment> [--out DIR]``
-    Regenerate one paper artefact (CSV written to --out).
+``pom run <experiment|spec.json> [--out DIR] [--jobs N] [--cache DIR]``
+    Regenerate one paper artefact, or execute a declarative scenario
+    spec through the run orchestration layer (sharded across ``--jobs``
+    processes, cached/resumable under ``--cache``).
+``pom plan <experiment|spec.json>``
+    Compile a scenario into its shard decomposition and show it
+    (with per-shard cache state when ``--cache`` is given).
 ``pom model ...``
     Free-form oscillator-model run with ASCII output — the scriptable
     replacement for the paper's MATLAB GUI.
@@ -55,14 +60,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the reproducible paper artefacts")
 
-    run_p = sub.add_parser("run", help="regenerate one paper artefact")
-    run_p.add_argument("experiment", help="experiment name (see `pom list`)")
+    run_p = sub.add_parser("run", help="regenerate one paper artefact or "
+                                       "execute a scenario spec")
+    run_p.add_argument("experiment",
+                       help="experiment name (see `pom list`) or a "
+                            "scenario-spec .json file")
     run_p.add_argument("--out", default=None,
-                       help="directory for CSV output (default: no files)")
+                       help="directory for CSV/NPZ output (default: no "
+                            "files)")
     run_p.add_argument("--looped", action="store_true",
                        help="run parameter sweeps point by point instead of "
                             "one batched (R, N) solve (slower; for "
                             "cross-checking)")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for sharded campaign "
+                            "execution (default 1; results are identical "
+                            "for any value)")
+    run_p.add_argument("--cache", default=None, metavar="DIR",
+                       help="content-addressed result cache: finished "
+                            "campaigns replay as pure cache hits, killed "
+                            "ones resume from completed shards")
+    run_p.add_argument("--resume", dest="resume", action="store_true",
+                       default=True,
+                       help="reuse cached shard solves (default)")
+    run_p.add_argument("--no-resume", dest="resume", action="store_false",
+                       help="recompute and overwrite cached shards")
+    run_p.add_argument("--shard-members", type=int, default=None,
+                       help="max members per shard (default: fuse whole "
+                            "compatible groups; bounded shards enable "
+                            "--jobs scaling, bit-for-bit for fixed-step "
+                            "methods)")
+    run_p.add_argument("--quick", action="store_true",
+                       help="reduced-size smoke configuration (the "
+                            "registry entry's quick_kwargs)")
+
+    plan_p = sub.add_parser("plan", help="compile a scenario spec and show "
+                                         "its shard decomposition")
+    plan_p.add_argument("spec",
+                        help="scenario-spec .json file or a registry "
+                             "experiment with a declarative spec")
+    plan_p.add_argument("--cache", default=None, metavar="DIR",
+                        help="show per-shard cache state against this "
+                             "result cache")
+    plan_p.add_argument("--shard-members", type=int, default=None,
+                        help="max members per shard")
+    plan_p.add_argument("--quick", action="store_true",
+                        help="reduced-size configuration for registry "
+                             "specs")
 
     model_p = sub.add_parser("model", help="run the oscillator model")
     model_p.add_argument("--n", type=int, default=24, help="oscillators")
@@ -131,24 +175,126 @@ def _cmd_list() -> int:
     return 0
 
 
+def _looks_like_spec_file(name: str) -> bool:
+    import os
+
+    return name.endswith(".json") or os.sep in name
+
+
+def _resolve_spec(name_or_path: str, *, quick: bool = False):
+    """A ScenarioSpec from a .json file or a spec-carrying registry entry."""
+    from .runs import ScenarioSpec
+
+    if _looks_like_spec_file(name_or_path):
+        return ScenarioSpec.from_json(name_or_path)
+    exp = get_experiment(name_or_path)
+    if exp.spec_factory is None:
+        raise SystemExit(
+            f"experiment {name_or_path!r} has no declarative scenario spec; "
+            "point at a spec .json file instead"
+        )
+    return exp.spec_factory(**(exp.quick_kwargs if quick else {}))
+
+
+def _print_shard_progress(event: dict) -> None:
+    # event["done"] is the completion counter — with --jobs N shards
+    # finish out of order, so the shard id is reported separately.
+    state = "cache hit" if event["cached"] else f"{event['seconds']:.2f}s"
+    print(f"  [{event['done']}/{event['total']}] shard {event['shard']} "
+          f"({event['members']} members): {state}")
+
+
+def _run_spec_file(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .runs import compile_plan, run_plan
+    from .viz.export import write_csv
+
+    if args.looped:
+        print("(--looped has no effect on spec-file campaigns)")
+    if args.quick:
+        print("(--quick has no effect on spec-file campaigns — size the "
+              "spec itself)")
+    spec = _resolve_spec(args.experiment, quick=args.quick)
+    spec.validate()
+    plan = compile_plan(spec, shard_members=args.shard_members)
+    print(f"[{spec.name}] {plan.n_members} members in {plan.n_shards} "
+          f"shard(s), spec {spec.content_hash()[:16]}")
+    result = run_plan(plan, jobs=args.jobs, cache=args.cache,
+                      resume=args.resume, progress=_print_shard_progress)
+    print(f"done: {result.n_executed} shard(s) solved, "
+          f"{result.n_cached} from cache, {result.wall_s:.2f}s")
+    if args.out:
+        out = Path(args.out)
+        csv_path = write_csv(out / f"{spec.name}.csv",
+                             result.summary_table(),
+                             meta={"spec": spec.content_hash(),
+                                   "name": spec.name})
+        npz_path = result.save_npz(out / f"{spec.name}.npz")
+        print(f"written: {csv_path} and {npz_path}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import inspect
 
+    if _looks_like_spec_file(args.experiment):
+        return _run_spec_file(args)
+
     exp = get_experiment(args.experiment)
     print(f"[{exp.id}] {exp.description}")
+    params = inspect.signature(exp.runner).parameters
     kwargs = {}
+    if args.quick:
+        kwargs.update(exp.quick_kwargs)
     if args.out:
         kwargs["out_dir"] = args.out
     if args.looped:
         # Only the sweep runners take the knob; other artefacts ignore it.
-        if "batched" in inspect.signature(exp.runner).parameters:
+        if "batched" in params:
             kwargs["batched"] = False
         else:
             print("(--looped has no effect on this experiment)")
+    # Orchestration knobs: forwarded to campaign-shaped runners only.
+    orchestration = {"jobs": args.jobs, "cache": args.cache,
+                     "resume": args.resume,
+                     "shard_members": args.shard_members}
+    requested = (args.jobs != 1 or args.cache is not None
+                 or args.shard_members is not None or not args.resume)
+    if all(k in params for k in orchestration):
+        kwargs.update(orchestration)
+    elif requested:
+        print("(--jobs/--cache/--resume/--shard-members have no effect on "
+              "this experiment)")
     result = exp.runner(**kwargs)
     print(result)
     if args.out:
         print(f"CSV written to {args.out}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .runs import ResultCache, compile_plan
+
+    spec = _resolve_spec(args.spec, quick=args.quick)
+    spec.validate()
+    plan = compile_plan(spec, shard_members=args.shard_members)
+    cache = ResultCache(args.cache) if args.cache else None
+    info = plan.describe(cache)
+    print(f"[{info['name']}] spec {info['spec_hash']}: "
+          f"{info['members']} members -> {len(info['shards'])} shard(s)")
+    for row in info["shards"]:
+        state = ""
+        if "cached" in row:
+            state = "  [cached]" if row["cached"] else "  [pending]"
+        print(f"  shard {row['shard']:>3}  members={row['members']:<4} "
+              f"method={row['method']}  t_end={row['t_end']:g}  "
+              f"key={row['key']}{state}")
+    if cache is not None:
+        c = info["cache"]
+        print(f"cache {c['root']}: {c['entries']} entries, "
+              f"{c['size_bytes'] / 1e6:.1f} MB "
+              f"(numerics {c['numerics_version']})")
     return 0
 
 
@@ -240,6 +386,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "model":
         return _cmd_model(args)
     if args.command == "trace":

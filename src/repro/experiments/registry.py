@@ -3,18 +3,35 @@
 The CLI and the benchmark harness resolve experiments through this
 table, so the per-experiment index in DESIGN.md has a single source of
 truth in code.
+
+Since PR 4 the entries also carry:
+
+* ``spec_factory`` — for campaign-shaped artefacts (the Sec. 5 claim
+  sweeps), a builder returning the experiment's declarative
+  :class:`~repro.runs.ScenarioSpec`; ``pom plan <name>`` compiles it
+  and ``pom run <name> --jobs/--cache`` executes it through the run
+  orchestration layer.
+* ``quick_kwargs`` — reduced-size runner arguments used by
+  ``pom run <name> --quick`` and the CLI smoke tests, so every
+  registry entry stays end-to-end runnable in CI.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from .fig1a import run_fig1a
 from .supermuc import run_supermuc
 from .fig1b import run_fig1b
 from .fig2 import run_fig2
-from .sweeps import kuramoto_baseline, sweep_beta_kappa, sweep_sigma
+from .sweeps import (
+    beta_kappa_spec,
+    kuramoto_baseline,
+    sigma_spec,
+    sweep_beta_kappa,
+    sweep_sigma,
+)
 
 __all__ = ["Experiment", "REGISTRY", "get_experiment", "list_experiments"]
 
@@ -31,11 +48,19 @@ class Experiment:
         One-line summary.
     runner:
         Callable accepting ``out_dir=`` and returning a result object.
+    spec_factory:
+        Optional builder returning the experiment's declarative
+        :class:`~repro.runs.ScenarioSpec` (campaign-shaped artefacts
+        only); accepts the same sizing kwargs as the runner.
+    quick_kwargs:
+        Reduced-size runner arguments for smoke runs (CI, ``--quick``).
     """
 
     id: str
     description: str
     runner: Callable
+    spec_factory: Callable | None = None
+    quick_kwargs: dict = field(default_factory=dict)
 
 
 REGISTRY: dict[str, Experiment] = {
@@ -50,36 +75,45 @@ REGISTRY: dict[str, Experiment] = {
         description="Fig. 1(b): socket bandwidth scaling of STREAM / "
                     "slow Schönauer / PISOLVER on simulated Meggie",
         runner=run_fig1b,
+        quick_kwargs={"array_elements": 4e6, "n_iterations": 6},
     ),
     "fig2": Experiment(
         id="FIG2",
         description="Fig. 2: four-panel MPI-trace vs oscillator-model "
                     "analogy (idle waves, resync, wavefronts)",
         runner=run_fig2,
+        quick_kwargs={"n_ranks": 12, "n_iterations": 12},
     ),
     "beta-kappa": Experiment(
         id="CLAIM-BK",
         description="Sec. 5.1.1: idle-wave speed and stiffness vs "
                     "beta*kappa",
         runner=sweep_beta_kappa,
+        spec_factory=beta_kappa_spec,
+        quick_kwargs={"values": [0.0, 1.0, 4.0], "n_ranks": 8,
+                      "t_end": 60.0},
     ),
     "sigma": Experiment(
         id="CLAIM-SIGMA",
         description="Sec. 5.2.2: asymptotic gap = 2*sigma/3, spread and "
                     "wave speed vs sigma",
         runner=sweep_sigma,
+        spec_factory=sigma_spec,
+        quick_kwargs={"sigmas": [0.5, 1.5], "n_ranks": 8, "t_end": 80.0},
     ),
     "kuramoto": Experiment(
         id="CLAIM-KM",
         description="Sec. 2.2.2: plain Kuramoto baseline is unsuitable "
                     "(barrier-like sync, no desync, phase slips)",
         runner=kuramoto_baseline,
+        quick_kwargs={"n": 8, "t_end": 60.0},
     ),
     "supermuc": Experiment(
         id="SUPERMUC",
         description="Artifact appendix: the same phenomenology on the "
                     "SuperMUC-NG machine spec (24-core Skylake sockets)",
         runner=run_supermuc,
+        quick_kwargs={"n_iterations": 30},
     ),
 }
 

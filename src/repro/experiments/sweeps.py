@@ -28,24 +28,91 @@ from ..core import (
     TanhPotential,
     ring,
     simulate,
-    simulate_grid,
     simulate_kuramoto,
 )
 from ..metrics.order_parameter import order_parameter_series
 from ..metrics.sync import classify, settle_time
 from ..metrics.wave import measure_wave_speed
+from ..runs import ScenarioSpec, run_spec
 from ..viz.export import write_csv
 
 __all__ = [
     "BetaKappaSweep",
     "SigmaSweep",
     "KuramotoBaseline",
+    "beta_kappa_spec",
+    "sigma_spec",
     "sweep_beta_kappa",
     "sweep_sigma",
     "kuramoto_baseline",
 ]
 
 _T_INJECT = 20.0
+
+
+def beta_kappa_spec(
+    values: np.ndarray | list[float] | None = None,
+    *,
+    n_ranks: int = 24,
+    t_comp: float = 0.9,
+    t_comm: float = 0.1,
+    t_end: float = 300.0,
+    delay_rank: int = 4,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The CLAIM-BK campaign as a declarative :class:`ScenarioSpec`.
+
+    The ``v_p_override`` axis carries ``beta*kappa / T`` per grid point;
+    everything else (ring, tanh potential, the one-off delay) is the
+    shared base model.
+    """
+    if values is None:
+        values = np.array([0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0])
+    period = t_comp + t_comm
+    return ScenarioSpec(
+        name="sweep-beta-kappa",
+        model={
+            "topology": {"kind": "ring", "n": n_ranks, "distances": [1, -1]},
+            "potential": {"kind": "tanh"},
+            "t_comp": t_comp,
+            "t_comm": t_comm,
+            "delays": [{"rank": delay_rank, "t_start": _T_INJECT,
+                        "delay": 2.0 * period}],
+        },
+        t_end=t_end,
+        seed=seed,
+        axes=[("v_p_override", [float(bk) / period for bk in values])],
+    )
+
+
+def sigma_spec(
+    sigmas: np.ndarray | list[float] | None = None,
+    *,
+    n_ranks: int = 24,
+    t_comp: float = 0.9,
+    t_comm: float = 0.1,
+    t_end: float = 500.0,
+    delay_rank: int = 4,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """The CLAIM-SIGMA campaign as a declarative :class:`ScenarioSpec`."""
+    if sigmas is None:
+        sigmas = np.array([0.25, 0.5, 1.0, 1.5, 2.0, 3.0])
+    return ScenarioSpec(
+        name="sweep-sigma",
+        model={
+            "topology": {"kind": "ring", "n": n_ranks, "distances": [1, -1]},
+            "potential": {"kind": "bottleneck"},
+            "t_comp": t_comp,
+            "t_comm": t_comm,
+            "delays": [{"rank": delay_rank, "t_start": _T_INJECT,
+                        "delay": 2.0 * (t_comp + t_comm)}],
+        },
+        t_end=t_end,
+        seed=seed,
+        initial={"kind": "normal", "std": 1e-3, "seed": seed},
+        axes=[("potential.sigma", [float(s) for s in sigmas])],
+    )
 
 
 @dataclass
@@ -81,40 +148,57 @@ def sweep_beta_kappa(
     seed: int = 0,
     out_dir: str | Path | None = None,
     batched: bool = True,
+    jobs: int = 1,
+    shard_members: int | None = None,
+    cache=None,
+    resume: bool = True,
 ) -> BetaKappaSweep:
     """Sweep the coupling strength (via ``v_p_override = beta*kappa/T``).
 
     Uses a fixed next-neighbour ring and the scalable potential so only
     the coupling knob varies (the paper's Sec. 5.1.1 story).  With
-    ``batched=True`` (default) all grid points integrate as one stacked
-    super-state through the heterogeneous batched backend; the looped
-    path remains available for cross-checking.
+    ``batched=True`` (default) the campaign routes through the run
+    orchestration layer (:mod:`repro.runs`): the grid compiles to
+    batched shards, executes on ``jobs`` processes, and — with
+    ``cache=`` — replays/resumes from the content-addressed result
+    store.  The default ``shard_members=None`` fuses the whole grid
+    into one stacked solve, reproducing the PR-2 batched path bit for
+    bit; bounded shards trade that mesh identity (dopri results then
+    agree within solver tolerances) for multiprocess scaling.  The
+    looped path remains available for cross-checking.
     """
     if values is None:
         values = np.array([0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0])
     values = np.asarray(values, dtype=float)
     period = t_comp + t_comm
-    topology = ring(n_ranks, (1, -1))
 
-    models = [
-        PhysicalOscillatorModel(
-            topology=topology,
-            potential=TanhPotential(),
-            t_comp=t_comp,
-            t_comm=t_comm,
-            v_p_override=bk / period,
-            delays=(OneOffDelay(rank=delay_rank, t_start=_T_INJECT,
-                                delay=2.0 * period),),
-        )
-        for bk in values
-    ]
     if batched:
-        trajs = simulate_grid(models, t_end, seeds=seed)
+        run = run_spec(
+            beta_kappa_spec(values, n_ranks=n_ranks, t_comp=t_comp,
+                            t_comm=t_comm, t_end=t_end,
+                            delay_rank=delay_rank, seed=seed),
+            jobs=jobs, shard_members=shard_members, cache=cache,
+            resume=resume)
+        trajs = run.trajectories()
     else:
+        topology = ring(n_ranks, (1, -1))
+        models = [
+            PhysicalOscillatorModel(
+                topology=topology,
+                potential=TanhPotential(),
+                t_comp=t_comp,
+                t_comm=t_comm,
+                v_p_override=bk / period,
+                delays=(OneOffDelay(rank=delay_rank, t_start=_T_INJECT,
+                                    delay=2.0 * period),),
+            )
+            for bk in values
+        ]
         trajs = [simulate(model, t_end, seed=seed) for model in models]
 
     speeds, resync, peaks = [], [], []
-    for model, traj in zip(models, trajs):
+    for traj in trajs:
+        model = traj.model
         wave = measure_wave_speed(traj.ts, traj.thetas, model.omega,
                                   delay_rank, t_injection=_T_INJECT)
         speeds.append(wave.speed)
@@ -175,40 +259,54 @@ def sweep_sigma(
     seed: int = 0,
     out_dir: str | Path | None = None,
     batched: bool = True,
+    jobs: int = 1,
+    shard_members: int | None = None,
+    cache=None,
+    resume: bool = True,
 ) -> SigmaSweep:
     """Sweep the bottleneck horizon sigma on a next-neighbour ring.
 
-    With ``batched=True`` (default) the whole sigma grid integrates as
-    one stacked super-state (the potentials differ per member — the
-    heterogeneous backend groups them); ``batched=False`` runs the
-    original point-by-point loop.
+    With ``batched=True`` (default) the campaign routes through the run
+    orchestration layer (:mod:`repro.runs`) — one stacked super-state
+    by default (the potentials differ per member; the heterogeneous
+    backend groups them), sharded across ``jobs`` processes when
+    ``shard_members`` bounds the shard size, cached/resumable with
+    ``cache=``.  ``batched=False`` runs the original point-by-point
+    loop.
     """
     if sigmas is None:
         sigmas = np.array([0.25, 0.5, 1.0, 1.5, 2.0, 3.0])
     sigmas = np.asarray(sigmas, dtype=float)
-    topology = ring(n_ranks, (1, -1))
 
-    rng = np.random.default_rng(seed)
-    theta0 = rng.normal(0.0, 1e-3, size=n_ranks)
-    models = [
-        PhysicalOscillatorModel(
-            topology=topology,
-            potential=BottleneckPotential(sigma=float(s)),
-            t_comp=t_comp,
-            t_comm=t_comm,
-            delays=(OneOffDelay(rank=delay_rank, t_start=_T_INJECT,
-                                delay=2.0 * (t_comp + t_comm)),),
-        )
-        for s in sigmas
-    ]
     if batched:
-        trajs = simulate_grid(models, t_end, seeds=seed, theta0=theta0)
+        run = run_spec(
+            sigma_spec(sigmas, n_ranks=n_ranks, t_comp=t_comp,
+                       t_comm=t_comm, t_end=t_end, delay_rank=delay_rank,
+                       seed=seed),
+            jobs=jobs, shard_members=shard_members, cache=cache,
+            resume=resume)
+        trajs = run.trajectories()
     else:
+        topology = ring(n_ranks, (1, -1))
+        rng = np.random.default_rng(seed)
+        theta0 = rng.normal(0.0, 1e-3, size=n_ranks)
+        models = [
+            PhysicalOscillatorModel(
+                topology=topology,
+                potential=BottleneckPotential(sigma=float(s)),
+                t_comp=t_comp,
+                t_comm=t_comm,
+                delays=(OneOffDelay(rank=delay_rank, t_start=_T_INJECT,
+                                    delay=2.0 * (t_comp + t_comm)),),
+            )
+            for s in sigmas
+        ]
         trajs = [simulate(model, t_end, theta0=theta0, seed=seed)
                  for model in models]
 
     gaps, spreads, speeds = [], [], []
-    for model, traj in zip(models, trajs):
+    for traj in trajs:
+        model = traj.model
         verdict = classify(traj.ts, traj.thetas, model.omega)
         gaps.append(verdict.mean_abs_gap)
         spreads.append(verdict.final_spread)

@@ -12,6 +12,14 @@ The loops mirror the NumPy semantics exactly: per-row accumulation in
 row-major edge order (the ``np.bincount`` order), potential formulas
 identical to :func:`repro.kernels.coeffs.eval_coefficients`.  Branching
 on the potential kind happens once per member, outside the edge loop.
+
+Like the C twin, distance-ring topologies (the paper's halo exchanges)
+take a specialised path (:func:`ring_single` / :func:`ring_batched`):
+for each normalised offset ``d`` the gather becomes two contiguous
+shifted segments and the scatter a contiguous accumulate, so numba's
+loops run at unit stride with no index arrays at all.  Accumulation is
+offset-by-offset (the C kernel's pass order, not the column order of
+``np.bincount``), which changes the row sums only at the ulp level.
 """
 
 from __future__ import annotations
@@ -20,7 +28,13 @@ import math
 
 import numpy as np
 
-__all__ = ["numba_available", "fused_single", "fused_batched"]
+__all__ = [
+    "numba_available",
+    "fused_single",
+    "fused_batched",
+    "ring_single",
+    "ring_batched",
+]
 
 try:  # pragma: no cover - exercised only on the with-numba CI leg
     from numba import njit
@@ -76,6 +90,52 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only on the with-numba CI leg
                 rows, cols, theta[r], out[r], kinds[r], p0[r], p1[r], vp_over_n[r]
             )
 
+    @njit(cache=False)
+    def _ring_pass(theta, out, start, stop, shift, kind, p0, p1):
+        # One contiguous segment of one offset: rows [start, stop) couple
+        # to theta[i + shift] (shift already wrapped by the caller), so
+        # every access is unit-stride.  Kind branch outside the loop.
+        if kind == 0:  # tanh
+            for i in range(start, stop):
+                out[i] += math.tanh(p0 * (theta[i + shift] - theta[i]))
+        elif kind == 1:  # bottleneck
+            for i in range(start, stop):
+                d = theta[i + shift] - theta[i]
+                if abs(d) < p0:
+                    out[i] += -math.sin(p1 * d)
+                elif d > 0.0:
+                    out[i] += 1.0
+                elif d < 0.0:
+                    out[i] += -1.0
+        elif kind == 2:  # kuramoto
+            for i in range(start, stop):
+                out[i] += math.sin(theta[i + shift] - theta[i])
+        else:  # linear
+            for i in range(start, stop):
+                out[i] += p0 * (theta[i + shift] - theta[i])
+
+    @njit(cache=False)
+    def _ring_row(offsets, theta, out, kind, p0, p1, vp_over_n):
+        n = theta.shape[0]
+        for i in range(n):
+            out[i] = 0.0
+        for k in range(offsets.shape[0]):
+            d = offsets[k]  # normalised to [1, n-1]
+            # i in [0, n-d): partner theta[i + d]
+            _ring_pass(theta, out, 0, n - d, d, kind, p0, p1)
+            # i in [n-d, n): partner wraps to theta[i + d - n]
+            _ring_pass(theta, out, n - d, n, d - n, kind, p0, p1)
+        for i in range(n):
+            out[i] *= vp_over_n
+
+    @njit(cache=False)
+    def _ring_batched_impl(offsets, theta, out, kinds, p0, p1, vp_over_n):
+        r_count = theta.shape[0]
+        for r in range(r_count):
+            _ring_row(
+                offsets, theta[r], out[r], kinds[r], p0[r], p1[r], vp_over_n[r]
+            )
+
 
 def fused_single(
     rows32: np.ndarray,
@@ -104,4 +164,37 @@ def fused_batched(
 ) -> np.ndarray:
     """Coupling terms for an ``(R, N)`` super-state into ``out`` (numba)."""
     _fused_batched_impl(rows32, cols32, theta, out, kinds, p0, p1, vp_over_n)
+    return out
+
+
+def ring_single(
+    offsets: np.ndarray,
+    theta: np.ndarray,
+    out: np.ndarray,
+    kind: int,
+    p0: float,
+    p1: float,
+    vp_over_n: float,
+) -> np.ndarray:
+    """Distance-ring coupling for one ``(N,)`` state into ``out`` (numba).
+
+    ``offsets`` is the normalised offset set from
+    :func:`repro.kernels.cc.ring_offsets` (int64, values in
+    ``[1, n-1]``) — the same contract as the C twin.
+    """
+    _ring_row(offsets, theta, out, kind, p0, p1, vp_over_n)
+    return out
+
+
+def ring_batched(
+    offsets: np.ndarray,
+    theta: np.ndarray,
+    out: np.ndarray,
+    kinds: np.ndarray,
+    p0: np.ndarray,
+    p1: np.ndarray,
+    vp_over_n: np.ndarray,
+) -> np.ndarray:
+    """Distance-ring coupling for an ``(R, N)`` super-state (numba)."""
+    _ring_batched_impl(offsets, theta, out, kinds, p0, p1, vp_over_n)
     return out

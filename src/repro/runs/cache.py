@@ -1,0 +1,127 @@
+"""Result cache: shard solves keyed by content + code-relevant versions.
+
+The executor treats every shard as a pure function of its payload — the
+member model dicts, seeds, initial conditions, horizon, and resolved
+solver configuration.  This module turns that payload into a stable
+cache key and (de)serialises solved shards through the
+:class:`~repro.runs.store.ArtifactStore`:
+
+* **key** = sha256 over the canonical JSON of the payload plus the
+  *code-relevant versions*: :data:`NUMERICS_VERSION` (bumped manually
+  whenever a change alters solver/kernel arithmetic) and the package
+  version.  Environment details that do not change results (host name,
+  process count, ``jobs=``) are deliberately excluded — that is what
+  makes a cache shared between ``jobs=1`` and ``jobs=8`` runs, and what
+  makes a *re-run of a finished campaign a pure cache hit* and a killed
+  campaign resume from its completed shards.
+* **value** = one ``.npz`` blob per shard: the shared time mesh and the
+  stacked ``(R, n_t, N)`` member phases, exactly the arrays the executor
+  fans back out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .store import ArtifactStore
+
+__all__ = ["NUMERICS_VERSION", "ResultCache", "shard_key"]
+
+#: bump when a change alters the numerical results of a solve (solver
+#: arithmetic, kernel accumulation order, noise-draw order, ...) so
+#: stale cached campaigns can never masquerade as fresh ones
+NUMERICS_VERSION = "2026.07-pr4"
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def shard_key(payload: dict) -> str:
+    """Content address of one shard solve.
+
+    ``payload`` is the executor's shard dict (members + t_end + resolved
+    solver).  Keys are invariant under everything that cannot change the
+    result — notably the process count and the campaign name.
+    """
+    keyed = {
+        "payload": payload,
+        "versions": {
+            "numerics": NUMERICS_VERSION,
+            "repro": _package_version(),
+        },
+    }
+    canonical = json.dumps(keyed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Shard-solve cache on top of a content-addressed artifact store.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (an :class:`ArtifactStore` fan-out), or an
+        existing store instance.
+    """
+
+    def __init__(self, root: str | Path | ArtifactStore) -> None:
+        self.store = (root if isinstance(root, ArtifactStore)
+                      else ArtifactStore(root))
+
+    @property
+    def root(self) -> Path:
+        """The cache directory."""
+        return self.store.root
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> dict | None:
+        """Fetch a solved shard; ``None`` on miss or unreadable blob."""
+        blob = self.store.get_bytes(key)
+        if blob is None:
+            return None
+        try:
+            with np.load(io.BytesIO(blob), allow_pickle=False) as npz:
+                return {
+                    "ts": npz["ts"],
+                    "thetas": npz["thetas"],
+                    "indices": npz["indices"],
+                    "seconds": float(npz["seconds"][()]),
+                }
+        except Exception:
+            # A truncated or foreign blob (BadZipFile, EOFError, missing
+            # arrays, ...) is equivalent to a miss; the shard recomputes
+            # and the bad artifact is overwritten.
+            return None
+
+    def save(self, key: str, data: dict) -> Path:
+        """Persist a solved shard (atomic; safe against kills)."""
+        buf = io.BytesIO()
+        np.savez(
+            buf,
+            ts=np.asarray(data["ts"], dtype=float),
+            thetas=np.asarray(data["thetas"], dtype=float),
+            indices=np.asarray(data["indices"], dtype=np.int64),
+            seconds=np.asarray(float(data.get("seconds", 0.0))),
+        )
+        return self.store.put_bytes(key, buf.getvalue())
+
+    def has(self, key: str) -> bool:
+        """Whether a shard solve is cached."""
+        return self.store.has(key)
+
+    def describe(self) -> dict:
+        """Metadata for reports and ``pom plan``."""
+        return {
+            "root": str(self.root),
+            "entries": sum(1 for _ in self.store.keys()),
+            "size_bytes": self.store.size_bytes(),
+            "numerics_version": NUMERICS_VERSION,
+        }

@@ -1,0 +1,323 @@
+"""Sharded campaign executor: multiprocess solves with caching/resume.
+
+Runs a compiled :class:`~repro.runs.plan.Plan`:
+
+1. **cache probe** — with a :class:`~repro.runs.cache.ResultCache` and
+   ``resume=True`` (the default), every shard whose key is already
+   stored is loaded instead of solved.  A finished campaign replays as
+   a pure cache hit (zero solves — asserted by tests); a killed one
+   resumes from its completed shards.
+2. **execution** — pending shards run inline (``jobs=1``) or through a
+   ``ProcessPoolExecutor``.  A shard solve is a pure function of its
+   payload (models, seeds, and initial states are rebuilt from the spec
+   dicts inside the worker; per-member seeds were fixed at expansion
+   time), so the worker count can never change the bits — ``jobs=1``
+   and ``jobs=8`` produce identical results, and every completed shard
+   is persisted immediately, making the campaign kill-safe.
+3. **assembly** — member results are ordered by their global member
+   index, independent of shard completion order.
+
+``progress`` receives one event dict per completed shard (``cached``
+True/False), which the CLI renders as a live campaign log.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..core import OscillatorTrajectory, simulate_grid
+from .cache import ResultCache
+from .plan import Plan, compile_plan
+from .spec import MemberSpec, ScenarioSpec
+
+__all__ = ["MemberResult", "RunResult", "execute_shard", "run_plan",
+           "run_spec"]
+
+
+def execute_shard(payload: dict) -> dict:
+    """Solve one shard (top-level so worker processes can import it).
+
+    Returns the arrays the cache stores: the shared time mesh ``ts``,
+    the stacked member phases ``thetas (R, n_t, N)``, the global member
+    ``indices``, and the solve wall-clock.
+    """
+    t0 = time.perf_counter()
+    members = [MemberSpec.from_dict(m) for m in payload["members"]]
+    models = [m.build_model() for m in members]
+    n = models[0].n
+    theta0s = np.stack([m.build_theta0(n) for m in members])
+    solver = payload["solver"]
+    trajs = simulate_grid(
+        models, payload["t_end"],
+        seeds=[m.seed for m in members],
+        theta0s=theta0s,
+        method=solver["method"],
+        dt=solver["dt"],
+        rtol=solver["rtol"],
+        atol=solver["atol"],
+        n_samples=solver.get("n_samples"),
+    )
+    return {
+        "ts": trajs[0].ts,
+        "thetas": np.stack([t.thetas for t in trajs]),
+        "indices": np.asarray([m.index for m in members], dtype=np.int64),
+        "seconds": time.perf_counter() - t0,
+    }
+
+
+@dataclass
+class MemberResult:
+    """One grid point's solved trajectory plus its provenance.
+
+    ``trajectory()`` rebuilds the declarative model from the member's
+    spec dict, so results that crossed a process boundary (or came out
+    of the cache) still carry full model metadata.
+    """
+
+    member: MemberSpec
+    ts: np.ndarray
+    thetas: np.ndarray
+
+    @property
+    def index(self) -> int:
+        """Global member index (expansion order)."""
+        return self.member.index
+
+    @property
+    def params(self) -> dict:
+        """The member's axis coordinates."""
+        return self.member.params
+
+    @property
+    def seed(self) -> int:
+        """Noise-realisation seed."""
+        return self.member.seed
+
+    def trajectory(self) -> OscillatorTrajectory:
+        """The solved phases as a full :class:`OscillatorTrajectory`."""
+        return OscillatorTrajectory(ts=self.ts, thetas=self.thetas,
+                                    model=self.member.build_model(),
+                                    seed=self.member.seed)
+
+
+@dataclass
+class RunResult:
+    """Outcome of a campaign execution.
+
+    Attributes
+    ----------
+    spec:
+        The campaign that ran.
+    members:
+        Per-member results in global member order.
+    n_shards, n_executed, n_cached:
+        Shard accounting — ``n_executed == 0`` is the pure-cache-hit
+        replay the acceptance tests assert.
+    wall_s:
+        End-to-end wall-clock of :func:`run_plan`.
+    """
+
+    spec: ScenarioSpec
+    members: list[MemberResult]
+    n_shards: int = 0
+    n_executed: int = 0
+    n_cached: int = 0
+    wall_s: float = 0.0
+    solve_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def trajectories(self) -> list[OscillatorTrajectory]:
+        """All member trajectories, in member (expansion) order."""
+        return [m.trajectory() for m in self.members]
+
+    def summary_table(self) -> dict:
+        """Axis columns plus standard sync metrics per member.
+
+        Columns: one per axis path, plus ``seed``, ``final_spread``,
+        ``mean_abs_gap``, ``r_final``, and ``state`` from
+        :func:`repro.metrics.sync.classify` — the generic artefact the
+        CLI writes for spec-file campaigns.
+        """
+        from ..metrics.sync import classify
+
+        # ``seed`` already has a dedicated column; don't duplicate it
+        # when it is also swept as an axis.
+        paths = [p for p, _ in self.spec.axes if p != "seed"]
+        table: dict[str, list] = {p: [] for p in paths}
+        table.update({"seed": [], "final_spread": [], "mean_abs_gap": [],
+                      "r_final": [], "state": []})
+        for m in self.members:
+            for p in paths:
+                table[p].append(m.params.get(p))
+            model = m.member.build_model()
+            verdict = classify(m.ts, m.thetas, model.omega)
+            table["seed"].append(m.seed)
+            table["final_spread"].append(verdict.final_spread)
+            table["mean_abs_gap"].append(verdict.mean_abs_gap)
+            table["r_final"].append(verdict.r_final)
+            table["state"].append(verdict.state.value)
+        return table
+
+    def save_npz(self, path: str | Path) -> Path:
+        """Write every member's mesh and phases to one ``.npz`` file.
+
+        Arrays are named ``ts_<index>`` / ``thetas_<index>``; the file
+        also records the spec hash, so two runs of the same campaign
+        (any ``jobs=``) produce comparable artefacts.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {
+            "spec_hash": np.frombuffer(
+                self.spec.content_hash().encode(), dtype=np.uint8),
+        }
+        for m in self.members:
+            arrays[f"ts_{m.index}"] = m.ts
+            arrays[f"thetas_{m.index}"] = m.thetas
+        np.savez(path, **arrays)
+        return path
+
+
+@dataclass
+class _ShardOutcome:
+    data: dict
+    cached: bool
+
+
+def run_plan(plan: Plan, *,
+             jobs: int = 1,
+             cache: ResultCache | str | Path | None = None,
+             resume: bool = True,
+             progress: Callable[[dict], None] | None = None) -> RunResult:
+    """Execute a compiled plan; see the module docstring for semantics.
+
+    Parameters
+    ----------
+    plan:
+        Output of :func:`~repro.runs.plan.compile_plan`.
+    jobs:
+        Worker processes; ``1`` runs inline (no pool).
+    cache:
+        Result cache (directory path or :class:`ResultCache`); solved
+        shards are stored there and — with ``resume`` — reused.
+    resume:
+        Reuse cached shard solves.  ``False`` recomputes everything
+        (and overwrites the stored artefacts): the escape hatch for a
+        cache poisoned by an unversioned numerics change.
+    progress:
+        Callback receiving one event dict per completed shard.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be positive")
+    if cache is not None and not isinstance(cache, ResultCache):
+        cache = ResultCache(cache)
+
+    t0 = time.perf_counter()
+    outcomes: dict[int, _ShardOutcome] = {}
+    pending = []
+    for shard in plan.shards:
+        data = cache.load(shard.key) if (cache is not None and resume) \
+            else None
+        if data is not None:
+            outcomes[shard.index] = _ShardOutcome(data=data, cached=True)
+        else:
+            pending.append(shard)
+
+    done = 0
+    total = plan.n_shards
+
+    def _notify(shard, data, cached: bool) -> None:
+        if progress is not None:
+            progress({
+                "kind": "shard",
+                "shard": shard.index,
+                "members": shard.n_members,
+                "cached": cached,
+                "seconds": float(data.get("seconds", 0.0)),
+                "done": done,
+                "total": total,
+            })
+
+    for shard in plan.shards:
+        if shard.index in outcomes:
+            done += 1
+            _notify(shard, outcomes[shard.index].data, True)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for shard in pending:
+                data = execute_shard(shard.payload)
+                if cache is not None:
+                    cache.save(shard.key, data)
+                outcomes[shard.index] = _ShardOutcome(data=data,
+                                                      cached=False)
+                done += 1
+                _notify(shard, data, False)
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending))) as pool:
+                futures = {pool.submit(execute_shard, s.payload): s
+                           for s in pending}
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining,
+                                               return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        shard = futures[fut]
+                        data = fut.result()
+                        # Persist immediately: a kill after this point
+                        # loses at most the in-flight shards.
+                        if cache is not None:
+                            cache.save(shard.key, data)
+                        outcomes[shard.index] = _ShardOutcome(
+                            data=data, cached=False)
+                        done += 1
+                        _notify(shard, data, False)
+
+    # Assembly: member order is the expansion order, never completion
+    # order — the bit-for-bit anchor across jobs= settings.  Members are
+    # rebuilt from the shard payloads (no second grid expansion).
+    results: list[MemberResult] = []
+    solve_s = 0.0
+    for shard in plan.shards:
+        out = outcomes[shard.index]
+        if not out.cached:
+            solve_s += float(out.data.get("seconds", 0.0))
+        ts = out.data["ts"]
+        thetas = out.data["thetas"]
+        members_by_index = {m["index"]: MemberSpec.from_dict(m)
+                            for m in shard.payload["members"]}
+        for row, gindex in enumerate(out.data["indices"].tolist()):
+            results.append(MemberResult(member=members_by_index[int(gindex)],
+                                        ts=ts, thetas=thetas[row]))
+    results.sort(key=lambda m: m.index)
+
+    return RunResult(
+        spec=plan.spec,
+        members=results,
+        n_shards=total,
+        n_executed=len(pending),
+        n_cached=total - len(pending),
+        wall_s=time.perf_counter() - t0,
+        solve_s=solve_s,
+    )
+
+
+def run_spec(spec: ScenarioSpec, *,
+             jobs: int = 1,
+             shard_members: int | None = None,
+             cache: ResultCache | str | Path | None = None,
+             resume: bool = True,
+             progress: Callable[[dict], None] | None = None) -> RunResult:
+    """Compile and execute a scenario in one call (the common entry)."""
+    plan = compile_plan(spec, shard_members=shard_members)
+    return run_plan(plan, jobs=jobs, cache=cache, resume=resume,
+                    progress=progress)

@@ -1,0 +1,99 @@
+"""Content-addressed on-disk artifact store.
+
+A minimal, dependency-free blob store used by the result cache: each
+artifact lives at ``<root>/<key[:2]>/<key><ext>`` where ``key`` is a
+hex content hash computed by the caller.  Writes are atomic (temp file
++ ``os.replace``), so a campaign killed mid-write never leaves a
+corrupt artifact — the next run simply recomputes the missing shard.
+Concurrent writers of the same key converge on identical bytes (keys
+are content addresses), so last-write-wins is safe.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["ArtifactStore"]
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+class ArtifactStore:
+    """Fan-out directory of content-addressed blobs.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first write.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def _check_key(self, key: str) -> str:
+        if len(key) < 8 or not set(key) <= _KEY_CHARS:
+            raise ValueError(f"malformed store key {key!r} "
+                             "(want a hex content hash)")
+        return key
+
+    def path_for(self, key: str, ext: str = ".npz") -> Path:
+        """Where the blob for ``key`` lives (whether or not it exists)."""
+        key = self._check_key(key)
+        return self.root / key[:2] / f"{key}{ext}"
+
+    def has(self, key: str, ext: str = ".npz") -> bool:
+        """Whether a blob for ``key`` is present."""
+        return self.path_for(key, ext).exists()
+
+    def get_bytes(self, key: str, ext: str = ".npz") -> bytes | None:
+        """The blob's bytes, or ``None`` when absent."""
+        path = self.path_for(key, ext)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def put_bytes(self, key: str, data: bytes, ext: str = ".npz") -> Path:
+        """Atomically persist ``data`` under ``key``."""
+        path = self.path_for(key, ext)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def delete(self, key: str, ext: str = ".npz") -> bool:
+        """Remove one blob; returns whether it existed."""
+        path = self.path_for(key, ext)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self, ext: str = ".npz") -> Iterator[str]:
+        """All stored keys (any fan-out shard)."""
+        if not self.root.exists():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if not sub.is_dir():
+                continue
+            for blob in sorted(sub.iterdir()):
+                if blob.suffix != ".tmp" and blob.name.endswith(ext):
+                    yield blob.name[: -len(ext)]
+
+    def size_bytes(self) -> int:
+        """Total on-disk footprint of the store."""
+        if not self.root.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.root.rglob("*")
+                   if p.is_file())

@@ -121,3 +121,24 @@ class TestGate:
         with pytest.raises(SystemExit):
             check_regression.main(
                 ["--pair", base, base, "--tolerance", "1.5"])
+
+
+class TestFailureDiagnostics:
+    def test_failure_names_baseline_and_refresh_command(self, tmp_path,
+                                                        capsys):
+        current = json.loads(json.dumps(BASELINE))
+        current["rhs_ring"]["speedup_sparse_vs_dense"] = 10.0
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_regression.main(["--pair", base, cur]) == 1
+        err = capsys.readouterr().err
+        # the refresh hint does not inflate the regression count
+        assert "1 perf regression(s)" in err
+        assert f"committed baseline: {base}" in err
+        assert (f"PYTHONPATH=src python benchmarks/bench_backends.py "
+                f"--quick --out {base}") in err
+
+    def test_passing_gate_prints_no_hint(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", BASELINE)
+        assert check_regression.main(["--pair", base, base]) == 0
+        assert "committed baseline" not in capsys.readouterr().err

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.registry import REGISTRY
 
 
 class TestParser:
@@ -85,3 +87,107 @@ class TestExecution:
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
             main(["run", "fig77"])
+
+
+SPEC_JSON = """
+{
+  "name": "cli-grid",
+  "model": {
+    "topology": {"kind": "ring", "n": 10, "distances": [1, -1]},
+    "potential": {"kind": "bottleneck", "sigma": 1.0},
+    "t_comp": 0.9,
+    "t_comm": 0.1
+  },
+  "t_end": 6.0,
+  "solver": {"method": "rk4"},
+  "initial": {"kind": "normal", "std": 0.001, "seed": 0},
+  "axes": [["potential.sigma", [0.5, 1.0, 1.5]], ["seed", [0, 1]]]
+}
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "grid.json"
+    path.write_text(SPEC_JSON)
+    return str(path)
+
+
+class TestPlanCommand:
+    def test_plan_spec_file(self, capsys, spec_file):
+        assert main(["plan", spec_file, "--shard-members", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "6 members -> 3 shard(s)" in out
+        assert "method=rk4" in out
+
+    def test_plan_registry_spec(self, capsys):
+        assert main(["plan", "sigma", "--quick"]) == 0
+        assert "sweep-sigma" in capsys.readouterr().out
+
+    def test_plan_with_cache_state(self, capsys, spec_file, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["plan", spec_file, "--cache", cache]) == 0
+        out = capsys.readouterr().out
+        assert "[pending]" in out
+        assert "0 entries" in out
+
+    def test_plan_speclesss_experiment_rejected(self):
+        with pytest.raises(SystemExit, match="no declarative scenario"):
+            main(["plan", "fig1a"])
+
+
+class TestRunSpecFile:
+    def test_run_writes_artifacts(self, capsys, spec_file, tmp_path):
+        out_dir = tmp_path / "out"
+        assert main(["run", spec_file, "--shard-members", "2",
+                     "--out", str(out_dir)]) == 0
+        assert (out_dir / "cli-grid.csv").exists()
+        assert (out_dir / "cli-grid.npz").exists()
+        assert "3 shard(s) solved" in capsys.readouterr().out
+
+    def test_jobs_equality_and_cache_replay(self, capsys, spec_file,
+                                            tmp_path):
+        cache = str(tmp_path / "cache")
+        out1, out2 = tmp_path / "o1", tmp_path / "o2"
+        assert main(["run", spec_file, "--jobs", "2", "--shard-members",
+                     "2", "--cache", cache, "--out", str(out1)]) == 0
+        assert main(["run", spec_file, "--jobs", "1", "--shard-members",
+                     "2", "--out", str(out2)]) == 0
+        with np.load(out1 / "cli-grid.npz") as a, \
+                np.load(out2 / "cli-grid.npz") as b:
+            assert sorted(a.files) == sorted(b.files)
+            for key in a.files:
+                np.testing.assert_array_equal(a[key], b[key])
+        capsys.readouterr()
+        # warm replay: pure cache hit
+        assert main(["run", spec_file, "--jobs", "2", "--shard-members",
+                     "2", "--cache", cache]) == 0
+        assert "0 shard(s) solved, 3 from cache" in capsys.readouterr().out
+
+
+class TestRegistrySmoke:
+    """Every REGISTRY entry must run end-to-end through ``pom run``.
+
+    Quick configurations (the entry's ``quick_kwargs``) into a tmpdir,
+    so registry entries can never silently rot.
+    """
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_pom_run_quick(self, name, capsys, tmp_path):
+        assert main(["run", name, "--quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"[{REGISTRY[name].id}]" in out
+        # every experiment writes at least one CSV artefact
+        assert list(tmp_path.glob("*.csv")), f"{name} wrote no CSV"
+
+    def test_orchestrated_sweep_through_pom_run(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "sigma", "--quick", "--cache", cache]) == 0
+        capsys.readouterr()
+        # the sweep's campaign is cached: replay hits the cache
+        assert main(["run", "sigma", "--quick", "--cache", cache]) == 0
+
+    def test_orchestration_flags_noop_notice(self, capsys, tmp_path):
+        assert main(["run", "fig1a", "--jobs", "2",
+                     "--out", str(tmp_path)]) == 0
+        assert "no effect" in capsys.readouterr().out

@@ -430,3 +430,80 @@ class TestEndToEnd:
                      "--view", "summary"]) == 0
         out = capsys.readouterr().out
         assert "kernel=" in out
+
+
+# ----------------------------------------------------------------------
+# ring specialisation (numba kernel — port of the cc fast path)
+# ----------------------------------------------------------------------
+@needs_numba
+class TestNumbaRing:
+    def test_backend_dispatches_ring_path(self):
+        from repro.backends.sparse import SparseBackend
+
+        realized = _model(ring(48, (1, -1)), TanhPotential()).realize(
+            5.0, rng=0)
+        backend = make_backend(realized, "sparse", kernel="numba")
+        assert isinstance(backend, SparseBackend)
+        assert backend._ring_offsets is not None
+
+        # non-ring topologies keep the generic fused path
+        realized = _model(chain(48, (1, -1)), TanhPotential()).realize(
+            5.0, rng=0)
+        backend = make_backend(realized, "sparse", kernel="numba")
+        assert backend._ring_offsets is None
+
+    def test_hetero_dispatches_ring_path(self):
+        topo = ring(48, (1, -1, -2))
+        members = [_model(topo, BottleneckPotential(0.6 * (i + 1))).realize(
+            5.0, rng=0) for i in range(3)]
+        backend = HeteroBatchedBackend(members, kernel="numba")
+        assert backend._ring_offsets is not None
+
+    @pytest.mark.parametrize("make_pot", POTENTIALS)
+    @pytest.mark.parametrize("dists", [(1, -1), (1, -1, -2), (3, 5)])
+    def test_ring_single_matches_numpy(self, make_pot, dists):
+        from repro.kernels import numba_kernels
+
+        topo = ring(53, dists)
+        pot = make_pot()
+        rows, cols = topo.edge_list()
+        offs = cc_kernels.ring_offsets(rows, cols, topo.n)
+        assert offs is not None
+        kind, p0, p1 = pot.kernel_coefficients()
+        theta = np.random.default_rng(6).normal(0.0, 2.0, topo.n)
+        v = np.asarray(pot(theta[cols] - theta[rows]), dtype=float)
+        ref = 0.1 * np.bincount(rows, weights=v, minlength=topo.n)
+        out = numba_kernels.ring_single(offs, theta, np.empty(topo.n),
+                                        kind, p0, p1, 0.1)
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-13)
+
+    def test_ring_batched_matches_single(self):
+        from repro.kernels import numba_kernels
+
+        topo = ring(40, (1, -1))
+        pots = [TanhPotential(0.7), BottleneckPotential(1.2),
+                LinearPotential(0.4)]
+        offs = cc_kernels.ring_offsets(*topo.edge_list(), topo.n)
+        coeffs = np.array([p.kernel_coefficients() for p in pots])
+        kinds = np.ascontiguousarray(coeffs[:, 0], dtype=np.int64)
+        p0 = np.ascontiguousarray(coeffs[:, 1])
+        p1 = np.ascontiguousarray(coeffs[:, 2])
+        vps = np.array([0.1, 0.2, 0.3])
+        thetas = np.random.default_rng(7).normal(0.0, 1.0, (3, 40))
+        out = numba_kernels.ring_batched(offs, thetas, np.empty((3, 40)),
+                                         kinds, p0, p1, vps)
+        for r, pot in enumerate(pots):
+            ref = numba_kernels.ring_single(
+                offs, np.ascontiguousarray(thetas[r]), np.empty(40),
+                int(kinds[r]), float(p0[r]), float(p1[r]), float(vps[r]))
+            np.testing.assert_array_equal(out[r], ref)
+
+    def test_simulate_end_to_end(self):
+        model = _model(ring(32, (1, -1)), BottleneckPotential(1.0),
+                       kernel="numba")
+        ref = simulate(model, 10.0, seed=0, kernel="numpy",
+                       backend="sparse")
+        out = simulate(model, 10.0, seed=0, kernel="numba",
+                       backend="sparse")
+        np.testing.assert_allclose(out.thetas, ref.thetas,
+                                   rtol=1e-9, atol=1e-10)

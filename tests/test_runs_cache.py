@@ -1,0 +1,96 @@
+"""Tests for the artifact store and cache layer (repro.runs.store/cache)."""
+
+import numpy as np
+import pytest
+
+from repro.runs import ArtifactStore, ResultCache, shard_key
+
+
+KEY = "ab" * 32
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_bytes(KEY, b"hello")
+        assert store.get_bytes(KEY) == b"hello"
+        assert store.has(KEY)
+
+    def test_fanout_layout(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_bytes(KEY, b"x")
+        assert path.parent.name == KEY[:2]
+        assert path.name == f"{KEY}.npz"
+
+    def test_missing_is_none(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        assert store.get_bytes(KEY) is None
+        assert not store.has(KEY)
+
+    def test_delete(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_bytes(KEY, b"x")
+        assert store.delete(KEY)
+        assert not store.delete(KEY)
+
+    def test_keys_and_size(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        other = "cd" * 32
+        store.put_bytes(KEY, b"xx")
+        store.put_bytes(other, b"yyy")
+        assert sorted(store.keys()) == sorted([KEY, other])
+        assert store.size_bytes() == 5
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="malformed"):
+            store.put_bytes("../../etc/passwd", b"nope")
+        with pytest.raises(ValueError, match="malformed"):
+            store.has("short")
+
+    def test_no_tmp_droppings_after_write(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_bytes(KEY, b"x" * 1000)
+        leftovers = [p for p in (tmp_path / "store").rglob("*.tmp")]
+        assert leftovers == []
+
+
+class TestResultCache:
+    def _data(self):
+        return {"ts": np.linspace(0, 1, 5),
+                "thetas": np.ones((2, 5, 3)),
+                "indices": np.array([4, 7]),
+                "seconds": 1.25}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.save(KEY, self._data())
+        out = cache.load(KEY)
+        np.testing.assert_array_equal(out["ts"], np.linspace(0, 1, 5))
+        np.testing.assert_array_equal(out["indices"], [4, 7])
+        assert out["seconds"] == 1.25
+
+    def test_load_miss(self, tmp_path):
+        assert ResultCache(tmp_path / "c").load(KEY) is None
+
+    def test_describe(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.save(KEY, self._data())
+        info = cache.describe()
+        assert info["entries"] == 1
+        assert info["size_bytes"] > 0
+
+
+class TestShardKey:
+    def test_stable_and_canonical(self):
+        payload = {"members": [{"index": 0, "model": {"a": 1, "b": 2}}],
+                   "t_end": 5.0, "solver": {"method": "rk4", "dt": 0.01}}
+        reordered = {"solver": {"dt": 0.01, "method": "rk4"},
+                     "t_end": 5.0,
+                     "members": [{"model": {"b": 2, "a": 1}, "index": 0}]}
+        assert shard_key(payload) == shard_key(reordered)
+
+    def test_sensitive_to_content(self):
+        a = {"members": [], "t_end": 5.0, "solver": {}}
+        b = {"members": [], "t_end": 6.0, "solver": {}}
+        assert shard_key(a) != shard_key(b)
