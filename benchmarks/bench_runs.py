@@ -14,6 +14,15 @@ Measures the two claims of the campaign layer (:mod:`repro.runs`):
    content-addressed cache: the cold run solves and stores every
    shard, the warm run must be a pure cache hit (zero solves —
    asserted), replaying in milliseconds.
+3. **In-kernel thread scaling** — the compiled ``cc`` ring and
+   edge-list kernels at large N, ``threads=1`` vs ``threads=T``
+   (bit-equality asserted).  Skipped with a note when the ``cc``
+   toolchain or its OpenMP support is unavailable.
+
+The artefact records ``platform.cpu_count`` so the regression gate's
+hard floors (``check_regression.py --floor KEY:MIN[:MINCPUS]``) can
+skip parallel-speedup floors for runs measured on hosts without
+enough cores, instead of failing or silently passing.
 
 Run directly (no pytest needed)::
 
@@ -26,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import tempfile
 import time
@@ -73,7 +83,14 @@ def campaign(n_sigmas: int, n_seeds: int, n_ranks: int,
 
 def bench_sharded_jobs(spec: ScenarioSpec, shard_members: int,
                        jobs: int, repeats: int) -> dict:
-    """jobs=1 vs jobs=N wall-clock on the same shard decomposition."""
+    """jobs=1 vs jobs=N wall-clock on the same shard decomposition.
+
+    Wall-clock is decomposed into in-worker solve time and (for the
+    shared-memory transport) measured result-transport time; the
+    remainder is pool/orchestration overhead.  Workers are pinned to
+    one in-kernel thread each (the executor default), recorded in the
+    ``threads`` column.
+    """
     plan = compile_plan(spec, shard_members=shard_members)
 
     r1 = run_plan(plan, jobs=1)
@@ -93,11 +110,70 @@ def bench_sharded_jobs(spec: ScenarioSpec, shard_members: int,
         "shards": plan.n_shards,
         "shard_members": shard_members,
         "jobs": jobs,
+        "threads": 1,
+        "transport": rn.transport,
+        "worker_omp": rn.worker_omp,
         "jobs1_s": t1,
         f"jobs{jobs}_s": tn,
+        "jobs1_solve_s": r1.solve_s,
+        f"jobs{jobs}_solve_s": rn.solve_s,
+        f"jobs{jobs}_transport_s": rn.transport_s,
         f"speedup_jobs{jobs}_vs_jobs1": t1 / tn,
         "max_abs_diff_vs_jobs1": max_diff,
     }
+
+
+def bench_kernel_threads(n: int, iters: int, repeats: int,
+                         threads: int) -> dict:
+    """Single-process ``cc`` kernel thread scaling at large N.
+
+    Times the ring-specialised and generic edge-list fused kernels
+    serial vs ``threads``-way parallel on a nearest-neighbour ring of
+    ``n`` oscillators, asserting bit-equality.  Returns a skip record
+    when the compiled kernel (or its OpenMP build) is unavailable.
+    """
+    from repro.kernels import cc as cc_kernels
+
+    if not cc_kernels.cc_available():
+        return {"skipped": "cc kernel unavailable (no working compiler)"}
+    if not cc_kernels.openmp_available():
+        return {"skipped": "cc kernel built without OpenMP"}
+
+    rng = np.random.default_rng(42)
+    theta = rng.uniform(-np.pi, np.pi, n)
+    rows = np.repeat(np.arange(n, dtype=np.int64), 2)
+    cols = np.empty_like(rows)
+    cols[0::2] = (np.arange(n) + 1) % n
+    cols[1::2] = (np.arange(n) - 1) % n
+    order = np.lexsort((cols, rows))
+    rows, cols = rows[order], cols[order]
+    offsets = cc_kernels.ring_offsets(rows, cols, n)
+    rows32 = rows.astype(np.int32)
+    cols32 = cols.astype(np.int32)
+    kind, p0, p1 = 1, 1.0, 0.0  # bottleneck, sigma=1
+    vp = 0.5
+
+    def ring(t):
+        return cc_kernels.ring_single(offsets, theta, np.empty(n),
+                                      kind, p0, p1, vp, threads=t)
+
+    def edges(t):
+        return cc_kernels.fused_single(rows32, cols32, theta, np.empty(n),
+                                       kind, p0, p1, vp, threads=t)
+
+    out = {"n": n, "iters": iters, "threads": threads}
+    for name, fn in (("ring", ring), ("edges", edges)):
+        if not np.array_equal(fn(1), fn(threads)):
+            raise AssertionError(
+                f"cc {name} kernel: threads={threads} disagrees with serial")
+        t1 = _time(lambda: [fn(1) for _ in range(iters)], repeats)
+        tt = _time(lambda: [fn(threads) for _ in range(iters)], repeats)
+        out[name] = {
+            "threads1_s": t1,
+            f"threads{threads}_s": tt,
+            f"speedup_threads{threads}_vs_threads1": t1 / tt,
+        }
+    return out
 
 
 def bench_cache_replay(spec: ScenarioSpec, shard_members: int,
@@ -140,14 +216,21 @@ def main(argv: list[str] | None = None) -> int:
                    help="smaller campaign for CI smoke jobs")
     p.add_argument("--jobs", type=int, default=4,
                    help="worker count for the multiprocess leg")
+    p.add_argument("--threads", type=int, default=4,
+                   help="thread count for the in-kernel scaling leg")
     args = p.parse_args(argv)
 
     if args.quick:
         n_sigmas, n_seeds, n_ranks, t_end = 4, 2, 24, 40.0
         shard_members, repeats = 2, 1
+        # Same N as the full run: the thread-scaling floor is gated on
+        # the quick artefact, and at N ~ 4k the OpenMP fork/join cost
+        # still rivals the row work.
+        kernel_n, kernel_iters = 10_000, 50
     else:
         n_sigmas, n_seeds, n_ranks, t_end = 8, 2, 32, 120.0
         shard_members, repeats = 2, 3
+        kernel_n, kernel_iters = 10_000, 200
 
     spec = campaign(n_sigmas, n_seeds, n_ranks, t_end)
     result = {
@@ -157,10 +240,14 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
         "sharded_sweep": bench_sharded_jobs(spec, shard_members, args.jobs,
                                             repeats),
         "cache_replay": bench_cache_replay(spec, shard_members, repeats),
+        "kernel_threads": bench_kernel_threads(kernel_n, kernel_iters,
+                                               max(repeats, 3),
+                                               args.threads),
     }
 
     with open(args.out, "w") as fh:
@@ -173,7 +260,21 @@ def main(argv: list[str] | None = None) -> int:
           f"jobs=1 {s['jobs1_s']:.2f} s, jobs={jobs} "
           f"{s[f'jobs{jobs}_s']:.2f} s "
           f"=> {s[f'speedup_jobs{jobs}_vs_jobs1']:.2f}x "
-          f"(max |diff|: {s['max_abs_diff_vs_jobs1']:g})")
+          f"(max |diff|: {s['max_abs_diff_vs_jobs1']:g}, "
+          f"transport={s['transport']}, "
+          f"solve {s[f'jobs{jobs}_solve_s']:.2f} s + transport "
+          f"{s[f'jobs{jobs}_transport_s']:.3f} s)")
+    k = result["kernel_threads"]
+    if "skipped" in k:
+        print(f"kernel threads: skipped ({k['skipped']})")
+    else:
+        t = k["threads"]
+        for name in ("ring", "edges"):
+            kk = k[name]
+            print(f"kernel threads ({name}, N={k['n']}): "
+                  f"threads=1 {kk['threads1_s']:.3f} s, threads={t} "
+                  f"{kk[f'threads{t}_s']:.3f} s => "
+                  f"{kk[f'speedup_threads{t}_vs_threads1']:.2f}x")
     c = result["cache_replay"]
     print(f"cache replay: cold {c['cold_solve_s']:.2f} s, warm "
           f"{c['warm_replay_s']:.4f} s "

@@ -21,6 +21,17 @@ baseline value, 1 otherwise.  Speedup keys present only in the baseline
 run (a benchmark was added) are reported informationally.  Only stdlib
 is used, so the gate runs before any project dependency is installed.
 
+**Hard floors** (``--floor KEY:MIN[:MINCPUS]``) gate a speedup key in
+the *current* artefacts against an absolute minimum, independent of any
+baseline — e.g. ``--floor sharded_sweep.speedup_jobs4_vs_jobs1:1.0:4``
+demands that sharding actually pays on machines with at least 4 cores.
+When the artefact's recorded ``platform.cpu_count`` (fallback: this
+host's) is below ``MINCPUS``, the floor is skipped with a loud note
+instead of failing — a 1-core runner cannot show a parallel speedup,
+and pretending it did would be worse than not checking.  A floor whose
+key is missing from every current artefact fails: a silently dropped
+benchmark must not disable its gate.
+
 On failure the report names, per offending key, the committed baseline
 file and the exact command that refreshes it — so a PR that
 *legitimately* shifts a ratio (a faster kernel changes the denominator,
@@ -32,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Iterator
 
@@ -65,6 +77,61 @@ def refresh_command(baseline: dict, baseline_path: str) -> str:
         f"PYTHONPATH=src python benchmarks/bench_{name}.py{quick} "
         f"--out {baseline_path}"
     )
+
+
+def parse_floor(arg: str) -> tuple[str, float, int | None]:
+    """Parse a ``KEY:MIN[:MINCPUS]`` hard-floor argument."""
+    parts = arg.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(f"bad --floor {arg!r}; expected KEY:MIN[:MINCPUS]")
+    key, min_s = parts[0], parts[1]
+    try:
+        minimum = float(min_s)
+        min_cpus = int(parts[2]) if len(parts) == 3 else None
+    except ValueError:
+        raise ValueError(f"bad --floor {arg!r}; expected KEY:MIN[:MINCPUS]") from None
+    return key, minimum, min_cpus
+
+
+def check_floors(floors, currents) -> list[str]:
+    """Apply hard floors to the current artefacts; return failures.
+
+    ``currents`` is a list of ``(label, artefact_dict)``.  Floors with a
+    ``MINCPUS`` bound are skipped (loudly) for artefacts measured on
+    hosts with fewer cores.
+    """
+    failures = []
+    for key, minimum, min_cpus in floors:
+        found = False
+        for label, current in currents:
+            values = dict(iter_speedups(current))
+            if key not in values:
+                continue
+            found = True
+            cpus = current.get("platform", {}).get("cpu_count") or os.cpu_count() or 1
+            if min_cpus is not None and cpus < min_cpus:
+                print(
+                    f"{label}: hard floor {key} >= {minimum:.2f}x SKIPPED "
+                    f"(measured on {cpus} cpu(s); needs >= {min_cpus})"
+                )
+                continue
+            value = values[key]
+            status = "ok" if value >= minimum else "BELOW FLOOR"
+            print(
+                f"{label}: hard floor {key}: {value:.2f}x vs minimum "
+                f"{minimum:.2f}x -> {status}"
+            )
+            if value < minimum:
+                failures.append(
+                    f"{label}: {key} = {value:.2f}x is below the hard "
+                    f"floor {minimum:.2f}x"
+                )
+        if not found:
+            failures.append(
+                f"hard floor {key}: key missing from every current "
+                "artefact"
+            )
+    return failures
 
 
 def compare(baseline: dict, current: dict, tolerance: float, label: str) -> list[str]:
@@ -114,18 +181,33 @@ def main(argv: list[str] | None = None) -> int:
         help="minimum allowed fraction of the baseline speedup "
         "(default 0.5)",
     )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="KEY:MIN[:MINCPUS]",
+        help="hard absolute floor for a speedup key in the current "
+        "artefacts, skipped loudly when the artefact was measured on "
+        "fewer than MINCPUS cores (repeatable)",
+    )
     args = parser.parse_args(argv)
     if not (0.0 < args.tolerance <= 1.0):
         parser.error("tolerance must be in (0, 1]")
+    try:
+        floors = [parse_floor(f) for f in args.floor]
+    except ValueError as exc:
+        parser.error(str(exc))
 
     failures: list[str] = []
     hints: list[str] = []
+    currents: list[tuple[str, dict]] = []
     for baseline_path, current_path in args.pair:
         with open(baseline_path) as fh:
             baseline = json.load(fh)
         with open(current_path) as fh:
             current = json.load(fh)
         label = current.get("benchmark", current_path)
+        currents.append((label, current))
         if baseline.get("quick") != current.get("quick"):
             print(
                 f"{label}: warning: comparing quick={current.get('quick')} "
@@ -140,6 +222,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"    {refresh_command(baseline, baseline_path)}"
             )
         failures.extend(pair_failures)
+
+    failures.extend(check_floors(floors, currents))
 
     if failures:
         print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)

@@ -118,7 +118,8 @@ def auto_backend_name(topology) -> str:
 
 
 def make_backend(realized: "RealizedModel", name: str = "auto",
-                 kernel: str | None = "auto") -> RHSBackend:
+                 kernel: str | None = "auto",
+                 threads: int | None = None) -> RHSBackend:
     """Compile ``realized`` with the named (or auto-selected) backend.
 
     ``kernel`` selects the coupling-loop implementation for backends
@@ -126,28 +127,37 @@ def make_backend(realized: "RealizedModel", name: str = "auto",
     kernel is itself a request for the edge-list path, so backend
     ``"auto"`` then resolves to sparse regardless of density; only an
     *explicit* kernel-less backend (dense) combined with an explicit
-    kernel is an error.
+    kernel is an error.  ``threads`` (default: the ``POM_NUM_THREADS``
+    environment variable, else 1) sets the in-kernel thread count for
+    the compiled kernels; like ``kernel``, an explicit count steers
+    backend ``"auto"`` onto the edge-list path.
     """
     key = normalize_backend_name(name)
     if key == "auto":
-        if normalize_kernel_name(kernel) != "auto":
+        if normalize_kernel_name(kernel) != "auto" or threads is not None:
             key = SparseBackend.name
         else:
             key = auto_backend_name(realized.model.topology)
     cls = BACKENDS[key]
     if cls.supports_kernels:
-        return cls(realized, kernel=kernel)
+        return cls(realized, kernel=kernel, threads=threads)
     if normalize_kernel_name(kernel) != "auto":
         raise ValueError(
             f"backend {key!r} does not support the kernel= knob "
             f"(got kernel={kernel!r}); use the sparse backend"
+        )
+    if threads is not None:
+        raise ValueError(
+            f"backend {key!r} does not support the threads= knob "
+            f"(got threads={threads!r}); use the sparse backend"
         )
     return cls(realized)
 
 
 def make_batched_backend(members: Sequence["RealizedModel"],
                          name: str = "auto",
-                         kernel: str | None = "auto") -> HeteroBatchedBackend:
+                         kernel: str | None = "auto",
+                         threads: int | None = None) -> HeteroBatchedBackend:
     """Compile a stack of realisations into one multi-member backend.
 
     ``"auto"`` prefers the strict homogeneous :class:`BatchedBackend`
@@ -155,18 +165,20 @@ def make_batched_backend(members: Sequence["RealizedModel"],
     declarative model) and falls back to the general
     :class:`HeteroBatchedBackend` when the members form a parameter
     grid.  Explicit names force a choice.  ``kernel`` selects the
-    coupling-loop implementation (both batched backends support it).
+    coupling-loop implementation and ``threads`` the in-kernel thread
+    count (both batched backends support them).
     """
     if name == "auto":
         try:
-            return BatchedBackend(members, kernel=kernel)
+            return BatchedBackend(members, kernel=kernel, threads=threads)
         except ValueError:
             if len(members) == 0:
                 raise
-            return HeteroBatchedBackend(members, kernel=kernel)
+            return HeteroBatchedBackend(members, kernel=kernel,
+                                        threads=threads)
     if name not in BATCHED_BACKENDS:
         raise ValueError(
             f"unknown batched backend {name!r}; available: "
             f"auto, {', '.join(sorted(BATCHED_BACKENDS))}"
         )
-    return BATCHED_BACKENDS[name](members, kernel=kernel)
+    return BATCHED_BACKENDS[name](members, kernel=kernel, threads=threads)

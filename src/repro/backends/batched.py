@@ -54,7 +54,8 @@ class BatchedBackend(HeteroBatchedBackend):
     name = "batched"
 
     def __init__(self, members: Sequence["RealizedModel"],
-                 kernel: str | None = "auto") -> None:
+                 kernel: str | None = "auto",
+                 threads: int | None = None) -> None:
         if len(members) == 0:
             raise ValueError("need at least one ensemble member")
         first = members[0].model
@@ -74,4 +75,4 @@ class BatchedBackend(HeteroBatchedBackend):
             if m.delay_schedule.delays != members[0].delay_schedule.delays:
                 raise ValueError(
                     "ensemble members disagree on the one-off delay schedule")
-        super().__init__(members, kernel=kernel)
+        super().__init__(members, kernel=kernel, threads=threads)

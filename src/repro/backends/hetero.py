@@ -114,7 +114,8 @@ class HeteroBatchedBackend:
     supports_kernels = True
 
     def __init__(self, members: Sequence["RealizedModel"],
-                 kernel: str | None = "auto") -> None:
+                 kernel: str | None = "auto",
+                 threads: int | None = None) -> None:
         if len(members) == 0:
             raise ValueError("need at least one batch member")
         first = members[0].model
@@ -172,6 +173,8 @@ class HeteroBatchedBackend:
         self.kernel = kernels.resolve_kernel(
             kernel, has_coefficients=self._coeffs is not None,
             n_edges=self._rows.size)
+        self._threads_request = threads
+        self.threads = kernels.resolve_threads(threads)
         self._tiled = None
         self._rows32 = self._cols32 = None
         if self.kernel == "tiled":
@@ -183,9 +186,14 @@ class HeteroBatchedBackend:
             self._vps_flat = np.ascontiguousarray(self._vps.ravel())
             # Distance rings (the paper's halo exchanges) additionally
             # drop the gathers/scatters for contiguous shifted passes —
-            # both compiled kernels carry the specialisation.
+            # both compiled kernels carry the specialisation; 2-D tori
+            # get the column-ring + per-row halo decomposition.
             self._ring_offsets = cc_kernels.ring_offsets(
                 self._rows, self._cols, self._n)
+            self._torus_halo = None
+            if self._ring_offsets is None:
+                self._torus_halo = cc_kernels.torus_halo(
+                    self._rows, self._cols, self._n)
         # Preallocated (R, E) scratch for the non-delayed numpy kernel.
         e = self._rows.size
         if self.kernel == "numpy":
@@ -229,7 +237,8 @@ class HeteroBatchedBackend:
         are re-integrated through a small subset backend.
         """
         return HeteroBatchedBackend([self.members[int(i)] for i in idx],
-                                    kernel=self._kernel_request)
+                                    kernel=self._kernel_request,
+                                    threads=self._threads_request)
 
     # ------------------------------------------------------------------
     def _delay_zeta(self, t: float) -> np.ndarray:
@@ -286,10 +295,16 @@ class HeteroBatchedBackend:
                     return mod.ring_batched(
                         self._ring_offsets, theta,
                         np.empty((self._r, self._n)), kinds, p0, p1,
-                        self._vps_flat)
+                        self._vps_flat, threads=self.threads)
+                if self._torus_halo is not None:
+                    return mod.torus_batched(
+                        self._torus_halo, theta,
+                        np.empty((self._r, self._n)), kinds, p0, p1,
+                        self._vps_flat, threads=self.threads)
                 return mod.fused_batched(self._rows32, self._cols32, theta,
                                          np.empty((self._r, self._n)),
-                                         kinds, p0, p1, self._vps_flat)
+                                         kinds, p0, p1, self._vps_flat,
+                                         threads=self.threads)
             # Gather into the preallocated scratch; d_edge = theta[:, cols]
             # - theta[:, rows] without per-call allocations.
             np.take(theta, cols, axis=1, out=self._d_edge)
@@ -362,4 +377,4 @@ class HeteroBatchedBackend:
         """Metadata dictionary used by exporters."""
         return {"backend": self.name, "n": self._n, "members": self._r,
                 "potential_groups": len(self._pot_groups),
-                "kernel": self.kernel}
+                "kernel": self.kernel, "threads": self.threads}

@@ -45,7 +45,8 @@ class SparseBackend(RHSBackend):
     supports_kernels = True
 
     def __init__(self, realized: "RealizedModel",
-                 kernel: str | None = "auto") -> None:
+                 kernel: str | None = "auto",
+                 threads: int | None = None) -> None:
         super().__init__(realized)
         self._rows, self._cols = self.model.topology.edge_list()
         pot = self.model.potential
@@ -53,6 +54,7 @@ class SparseBackend(RHSBackend):
         self.kernel = kernels.resolve_kernel(
             kernel, has_coefficients=coeffs is not None,
             n_edges=self._rows.size)
+        self.threads = kernels.resolve_threads(threads)
         self._coeffs = coeffs
         self._tiled = None
         self._rows32 = self._cols32 = None
@@ -64,9 +66,14 @@ class SparseBackend(RHSBackend):
             self._cols32 = np.ascontiguousarray(self._cols, dtype=np.int32)
             # Distance rings (the paper's halo exchanges) additionally
             # drop the gathers/scatters for contiguous shifted passes —
-            # both compiled kernels carry the specialisation.
+            # both compiled kernels carry the specialisation; 2-D tori
+            # get the column-ring + per-row halo decomposition.
             self._ring_offsets = cc_kernels.ring_offsets(
                 self._rows, self._cols, self._n)
+            self._torus_halo = None
+            if self._ring_offsets is None:
+                self._torus_halo = cc_kernels.torus_halo(
+                    self._rows, self._cols, self._n)
 
     def _fused_coupling(self, theta: np.ndarray) -> np.ndarray:
         kind, p0, p1 = self._coeffs
@@ -75,10 +82,14 @@ class SparseBackend(RHSBackend):
         if self._ring_offsets is not None:
             return mod.ring_single(self._ring_offsets, theta,
                                    np.empty(self._n), kind, p0, p1,
-                                   self._vp_over_n)
+                                   self._vp_over_n, threads=self.threads)
+        if self._torus_halo is not None:
+            return mod.torus_single(self._torus_halo, theta,
+                                    np.empty(self._n), kind, p0, p1,
+                                    self._vp_over_n, threads=self.threads)
         return mod.fused_single(self._rows32, self._cols32, theta,
                                 np.empty(self._n), kind, p0, p1,
-                                self._vp_over_n)
+                                self._vp_over_n, threads=self.threads)
 
     def coupling(self, t: float, theta: np.ndarray,
                  history: "HistoryBuffer | None" = None) -> np.ndarray:
@@ -110,4 +121,5 @@ class SparseBackend(RHSBackend):
     def describe(self) -> dict:
         d = super().describe()
         d["kernel"] = self.kernel
+        d["threads"] = self.threads
         return d

@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "compatible groups; bounded shards enable "
                             "--jobs scaling, bit-for-bit for fixed-step "
                             "methods)")
+    run_p.add_argument("--threads", type=int, default=None,
+                       help="in-kernel thread count per shard solve "
+                            "(default: POM_NUM_THREADS, else 1; workers "
+                            "are pinned to 1 when --jobs > 1 unless set "
+                            "explicitly; results are identical for any "
+                            "value)")
     run_p.add_argument("--quick", action="store_true",
                        help="reduced-size smoke configuration (the "
                             "registry entry's quick_kwargs)")
@@ -139,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="coupling-loop kernel for the edge-list "
                               "backends (auto: fastest available of "
                               "numba/cc/tiled/numpy)")
+    model_p.add_argument("--threads", type=int, default=None,
+                         help="in-kernel thread count for the compiled "
+                              "kernels (default: POM_NUM_THREADS, else 1; "
+                              "results are identical for any value)")
     model_p.add_argument("--view", default="phases",
                          choices=["phases", "circle", "summary"])
 
@@ -221,7 +231,14 @@ def _run_spec_file(args: argparse.Namespace) -> int:
     print(f"[{spec.name}] {plan.n_members} members in {plan.n_shards} "
           f"shard(s), spec {spec.content_hash()[:16]}")
     result = run_plan(plan, jobs=args.jobs, cache=args.cache,
-                      resume=args.resume, progress=_print_shard_progress)
+                      resume=args.resume, threads=args.threads,
+                      progress=_print_shard_progress)
+    if result.transport is not None:
+        # The pinning witness CI greps for: workers run 1 thread each
+        # unless --threads raises it explicitly.
+        print(f"workers: {args.jobs} x OMP_NUM_THREADS="
+              f"{result.worker_omp or (args.threads or 1)}, "
+              f"transport={result.transport}")
     print(f"done: {result.n_executed} shard(s) solved, "
           f"{result.n_cached} from cache, {result.wall_s:.2f}s")
     if args.out:
@@ -260,12 +277,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      "resume": args.resume,
                      "shard_members": args.shard_members}
     requested = (args.jobs != 1 or args.cache is not None
-                 or args.shard_members is not None or not args.resume)
+                 or args.shard_members is not None or not args.resume
+                 or args.threads is not None)
     if all(k in params for k in orchestration):
         kwargs.update(orchestration)
+        if "threads" in params:
+            kwargs["threads"] = args.threads
     elif requested:
-        print("(--jobs/--cache/--resume/--shard-members have no effect on "
-              "this experiment)")
+        print("(--jobs/--cache/--resume/--shard-members/--threads have no "
+              "effect on this experiment)")
     result = exp.runner(**kwargs)
     print(result)
     if args.out:
@@ -322,14 +342,16 @@ def _cmd_model(args: argparse.Namespace) -> int:
         if args.initial != "splayed" \
         else initial_from_name("splayed", args.n, gap=2 * args.sigma / 3)
     traj = simulate(model, args.t_end, theta0=theta0, seed=args.seed,
-                    backend=args.backend, kernel=args.kernel)
+                    backend=args.backend, kernel=args.kernel,
+                    threads=args.threads)
     verdict = classify(traj.ts, traj.thetas, model.omega)
 
     # Report the backend/kernel that actually ran, not the "auto" request
-    # (an explicit kernel steers backend "auto" to the edge-list path).
+    # (an explicit kernel or thread count steers backend "auto" to the
+    # edge-list path).
     if args.backend != "auto":
         resolved = args.backend
-    elif args.kernel != "auto":
+    elif args.kernel != "auto" or args.threads is not None:
         resolved = "sparse"
     else:
         resolved = auto_backend_name(model.topology)

@@ -155,7 +155,8 @@ class PhysicalOscillatorModel:
     def realize(self, t_end: float,
                 rng: np.random.Generator | int | None = None,
                 backend: str | None = None,
-                kernel: str | None = None) -> "RealizedModel":
+                kernel: str | None = None,
+                threads: int | None = None) -> "RealizedModel":
         """Freeze all stochastic channels for a concrete run.
 
         Parameters
@@ -168,6 +169,11 @@ class PhysicalOscillatorModel:
             Per-run override of the model's ``backend`` knob.
         kernel:
             Per-run override of the model's ``kernel`` knob.
+        threads:
+            In-kernel thread count for the compiled kernels (runtime
+            knob only — bit-identical for any value, so it never enters
+            ``describe()`` or content hashes).  Default: the
+            ``POM_NUM_THREADS`` environment variable, else 1.
         """
         if t_end <= 0:
             raise ValueError("t_end must be positive")
@@ -181,7 +187,8 @@ class PhysicalOscillatorModel:
                              backend=backend if backend is not None
                              else self.backend,
                              kernel=kernel if kernel is not None
-                             else self.kernel)
+                             else self.kernel,
+                             threads=threads)
 
     def describe(self) -> dict:
         """Metadata dictionary used by exporters."""
@@ -218,7 +225,8 @@ class RealizedModel:
 
     def __init__(self, model: PhysicalOscillatorModel, zeta: ZetaProcess,
                  tau: TauField, delay_schedule: DelaySchedule,
-                 backend: str = "auto", kernel: str = "auto") -> None:
+                 backend: str = "auto", kernel: str = "auto",
+                 threads: int | None = None) -> None:
         self.model = model
         self.zeta = zeta
         self.tau = tau
@@ -227,6 +235,9 @@ class RealizedModel:
         self._n = model.n
         self._backend_request = normalize_backend_name(backend)
         self._kernel_request = normalize_kernel_name(kernel)
+        # Runtime-only knob: never describes/hashes (results are
+        # bit-identical for any thread count).
+        self._threads_request = threads
         self._backend: RHSBackend | None = None
 
     # ------------------------------------------------------------------
@@ -245,7 +256,8 @@ class RealizedModel:
         """
         if self._backend is None:
             self._backend = make_backend(self, self._backend_request,
-                                         kernel=self._kernel_request)
+                                         kernel=self._kernel_request,
+                                         threads=self._threads_request)
         return self._backend
 
     @property

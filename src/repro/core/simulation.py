@@ -83,6 +83,7 @@ def simulate(
     n_samples: int | None = None,
     backend: str | None = None,
     kernel: str | None = None,
+    threads: int | None = None,
 ) -> OscillatorTrajectory:
     """Integrate the POM from 0 to ``t_end``.
 
@@ -113,6 +114,9 @@ def simulate(
         Coupling-loop kernel override (``"auto"`` | ``"numpy"`` |
         ``"tiled"`` | ``"numba"`` | ``"cc"``, see :mod:`repro.kernels`);
         default: the model's own ``kernel`` knob.
+    threads:
+        In-kernel thread count for the compiled kernels (bit-identical
+        for any value); default: ``POM_NUM_THREADS``, else 1.
 
     Returns
     -------
@@ -125,7 +129,8 @@ def simulate(
     if theta0.shape != (model.n,):
         raise ValueError(f"theta0 has shape {theta0.shape}, expected ({model.n},)")
 
-    realized = model.realize(t_end, rng=seed, backend=backend, kernel=kernel)
+    realized = model.realize(t_end, rng=seed, backend=backend, kernel=kernel,
+                             threads=threads)
     if dt is None:
         dt = default_dt(model)
 
@@ -299,6 +304,7 @@ def simulate_batched(
     n_samples: int | None = None,
     backend: str | None = None,
     kernel: str | None = None,
+    threads: int | None = None,
     per_member_adaptive: bool = True,
 ) -> list[OscillatorTrajectory]:
     """Integrate a whole seed ensemble as one ``(R, N)`` super-state.
@@ -328,6 +334,9 @@ def simulate_batched(
     kernel:
         Coupling-loop kernel for the batched backend (``"auto"`` |
         ``"numpy"`` | ``"tiled"`` | ``"numba"`` | ``"cc"``).
+    threads:
+        In-kernel thread count for the compiled kernels (bit-identical
+        for any value); default: ``POM_NUM_THREADS``, else 1.
     per_member_adaptive:
         Enable the per-member step-rejection control for ``"dopri"``
         (default on; turn off to force the PR-1 worst-member-drags-all
@@ -346,7 +355,8 @@ def simulate_batched(
     members = [model.realize(t_end, rng=seed, backend=backend, kernel=kernel)
                for seed in seeds]
     stacked = BatchedBackend(members, kernel=kernel
-                             if kernel is not None else model.kernel)
+                             if kernel is not None else model.kernel,
+                             threads=threads)
     theta0s = np.stack([
         (synchronized(model.n) if theta0_factory is None
          else np.asarray(theta0_factory(seed), dtype=float))
@@ -381,6 +391,7 @@ def simulate_grid(
     atol: float = 1e-9,
     n_samples: int | None = None,
     kernel: str | None = None,
+    threads: int | None = None,
     per_member_adaptive: bool = True,
 ) -> list[OscillatorTrajectory]:
     """Integrate a parameter grid of models as one ``(R, N)`` super-state.
@@ -407,7 +418,7 @@ def simulate_grid(
         Shared initial phases for all points (default: synchronised).
     theta0s:
         Per-point initial phases ``(R, N)``; overrides ``theta0``.
-    method, dt, rtol, atol, n_samples, kernel, per_member_adaptive:
+    method, dt, rtol, atol, n_samples, kernel, threads, per_member_adaptive:
         As in :func:`simulate_batched` (``"em"`` batches too — each
         point draws its Wiener increments from its own seeded stream).
 
@@ -442,7 +453,7 @@ def simulate_grid(
         kernel = model_kernels.pop() if len(model_kernels) == 1 else "auto"
     members = [m.realize(t_end, rng=s, kernel=kernel)
                for m, s in zip(models, seed_list)]
-    stacked = make_batched_backend(members, kernel=kernel)
+    stacked = make_batched_backend(members, kernel=kernel, threads=threads)
 
     if theta0s is not None:
         theta0s = np.asarray(theta0s, dtype=float).copy()

@@ -30,11 +30,20 @@ then ``tiled`` for problems with at least ``TILED_AUTO_MIN_EDGES``
 edges, else ``numpy``.  Delayed (DDE) evaluations always use the NumPy
 edge-patching path regardless of the knob; the kernels cover the
 non-delayed fast path that dominates every paper workload.
+
+Orthogonal to the kernel choice, :func:`resolve_threads` resolves the
+in-kernel thread count (the ``threads=`` knob on the backends /
+``simulate*`` / CLI, defaulting to the ``POM_NUM_THREADS`` environment
+variable): the compiled kernels split their work over disjoint output
+rows, bit-identical to the serial pass for any count.
 """
 
 from __future__ import annotations
 
-from .cc import cc_available
+import os
+import warnings
+
+from .cc import cc_available, openmp_available
 from .coeffs import (
     KIND_BOTTLENECK,
     KIND_KURAMOTO,
@@ -50,11 +59,14 @@ from .tiled import TiledBatchedCoupling, TiledSingleCoupling, TilePlan
 __all__ = [
     "KERNELS",
     "TILED_AUTO_MIN_EDGES",
+    "THREADS_ENV_VAR",
     "available_kernels",
     "normalize_kernel_name",
     "resolve_kernel",
+    "resolve_threads",
     "compiled_kernel_name",
     "cc_available",
+    "openmp_available",
     "numba_available",
     "family_coefficients",
     "eval_coefficients",
@@ -75,6 +87,45 @@ KERNELS = ("auto", "numpy", "tiled", "numba", "cc")
 #: path when no compiled kernel is available (below it the single
 #: un-tiled round-trip is already cache-resident)
 TILED_AUTO_MIN_EDGES = 8192
+
+#: environment default for the in-kernel thread count; an explicit
+#: ``threads=`` knob always wins.  The sharded executor pins this to 1
+#: inside worker processes so jobs x threads never oversubscribes.
+THREADS_ENV_VAR = "POM_NUM_THREADS"
+
+
+def resolve_threads(threads: int | None = None) -> int:
+    """Effective in-kernel thread count.
+
+    Resolution order: the explicit ``threads=`` knob, then the
+    ``POM_NUM_THREADS`` environment variable, then 1 (serial).  Read at
+    *call* time, never cached at import, so the executor's worker
+    initializer can pin it after fork.  The count only steers wall
+    clock: the compiled kernels are bit-identical for any value, and
+    silently run serial when the binary lacks OpenMP (``cc``) or numba
+    is capped (``NUMBA_NUM_THREADS``).
+    """
+    if threads is not None:
+        t = int(threads)
+        if t < 1:
+            raise ValueError("threads must be positive")
+        return t
+    env = os.environ.get(THREADS_ENV_VAR)
+    if env:
+        try:
+            t = int(env)
+        except ValueError:
+            raise ValueError(
+                f"invalid {THREADS_ENV_VAR}={env!r}: expected a positive "
+                "integer"
+            ) from None
+        if t < 1:
+            raise ValueError(
+                f"invalid {THREADS_ENV_VAR}={env!r}: expected a positive "
+                "integer"
+            )
+        return t
+    return 1
 
 
 def available_kernels() -> tuple[str, ...]:
@@ -104,6 +155,27 @@ def compiled_kernel_name() -> str | None:
     return None
 
 
+_warned_coefficient_fallback = False
+
+
+def _warn_coefficient_fallback(fallback: str) -> None:
+    """One-time note that a compiled kernel was skipped for a potential
+    without kernel coefficients (``CustomPotential``)."""
+    global _warned_coefficient_fallback
+    if _warned_coefficient_fallback:
+        return
+    _warned_coefficient_fallback = True
+    warnings.warn(
+        "a potential without kernel coefficients (e.g. CustomPotential) "
+        f'forced kernel "auto" onto the Python-potential "{fallback}" path '
+        f'although a compiled kernel ("{compiled_kernel_name()}") is '
+        "available; expect a serial slowdown — use a shipped potential "
+        "family (tanh/bottleneck/kuramoto/linear) for the fused kernels",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def resolve_kernel(name: str | None, *, has_coefficients: bool, n_edges: int) -> str:
     """Resolve a ``kernel=`` request to a concrete, runnable kernel.
 
@@ -118,9 +190,12 @@ def resolve_kernel(name: str | None, *, has_coefficients: bool, n_edges: int) ->
     n_edges:
         Edge count of the topology — drives the tiled-vs-numpy choice.
 
-    ``"auto"`` silently falls back; explicit requests fail loudly when
-    the kernel cannot run, so a benchmark or test never quietly measures
-    the wrong code path.
+    ``"auto"`` falls back; explicit requests fail loudly when the kernel
+    cannot run, so a benchmark or test never quietly measures the wrong
+    code path.  The coefficient-less fallback (``CustomPotential``)
+    warns once per process: a campaign silently running the Python-loop
+    potential instead of a compiled kernel is a large, otherwise
+    invisible slowdown.
     """
     key = normalize_kernel_name(name)
     if key == "auto":
@@ -128,7 +203,10 @@ def resolve_kernel(name: str | None, *, has_coefficients: bool, n_edges: int) ->
             compiled = compiled_kernel_name()
             if compiled is not None:
                 return compiled
-        return "tiled" if n_edges >= TILED_AUTO_MIN_EDGES else "numpy"
+        fallback = "tiled" if n_edges >= TILED_AUTO_MIN_EDGES else "numpy"
+        if not has_coefficients and compiled_kernel_name() is not None:
+            _warn_coefficient_fallback(fallback)
+        return fallback
     if key == "numba":
         if not numba_available():
             raise RuntimeError(

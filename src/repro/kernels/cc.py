@@ -20,6 +20,24 @@ dir, then loaded via :mod:`ctypes` — no build-time dependency, no
 third-party package.  When no working compiler is available the module
 reports unavailability and the ``"auto"`` kernel resolution falls back to
 the tiled/NumPy paths.
+
+Thread parallelism
+------------------
+Every kernel takes a trailing ``threads`` argument.  With ``threads > 1``
+and an OpenMP-capable compiler the work is split over **disjoint output
+rows** (edge spans are row-aligned via binary search on the sorted row
+array; ring/torus element ranges are contiguous), so no two threads ever
+write the same accumulator and no atomics are needed.  Because each
+row's contributions are accumulated in exactly the serial order, results
+are **bit-identical for any thread count** — the parallel path is a pure
+wall-clock knob, never a numerics knob.  When OpenMP is unavailable the
+kernels quietly run serial (``openmp_available()`` reports which).
+
+Topology specialisations (detected from the edge list, never from
+builder metadata): distance rings (:func:`ring_offsets`) replace the
+gather/scatter with contiguous shifted passes, and 2-D tori
+(:func:`torus_halo`) decompose into column ring passes plus per-row halo
+passes — both unit-stride, both row-partitionable.
 """
 
 from __future__ import annotations
@@ -38,64 +56,122 @@ import numpy as np
 
 __all__ = [
     "cc_available",
+    "openmp_available",
     "load_library",
     "ring_offsets",
+    "torus_halo",
     "fused_single",
     "fused_batched",
     "ring_single",
     "ring_batched",
+    "torus_single",
+    "torus_batched",
 ]
 
 _SOURCE = r"""
 #include <math.h>
 #include <stdint.h>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 /* Potential kinds: keep in sync with repro/kernels/coeffs.py. */
 enum { KIND_TANH = 0, KIND_BOTTLENECK = 1, KIND_KURAMOTO = 2, KIND_LINEAR = 3 };
 
+/* Whether this binary was compiled with OpenMP (the flag-set fallback
+ * chain may have landed on a serial build). */
+int64_t pom_openmp_available(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
 /* Evaluate one coefficient family on a block of phase differences.
  * Each case is a flat loop over the block so the compiler can
- * auto-vectorise the transcendental against libmvec. */
+ * auto-vectorise the transcendental against libmvec.
+ *
+ * Determinism contract: with -ffast-math the *vectorised* libmvec
+ * tanh/sin differ from the scalar libm ones by ulps, so an element's
+ * value would depend on whether it lands in a SIMD body or a scalar
+ * epilogue — i.e. on the loop trip count, which thread chunking
+ * changes.  Two measures make the evaluation a pure function of the
+ * element value: (1) the block is padded up to a PAD_BLOCK multiple
+ * (padding lanes read/write scratch only), so no scalar epilogue ever
+ * executes for a real element; (2) the function is noinline, so every
+ * call site — serial or parallel, single or batched — runs the same
+ * machine code.  This is what makes threads=K bit-identical to
+ * threads=1. */
+#define PAD_BLOCK 64
+#if defined(__GNUC__)
+__attribute__((noinline))
+#endif
 static void potential_block(int64_t kind, double p0, double p1,
-                            const double *d, double *v, int64_t m) {
+                            double *d, double *v, int64_t m) {
     int64_t e;
+    int64_t mp = (m + (PAD_BLOCK - 1)) & ~(int64_t)(PAD_BLOCK - 1);
+    for (e = m; e < mp; ++e)
+        d[e] = 0.0;
     switch (kind) {
     case KIND_TANH:
-        for (e = 0; e < m; ++e)
+        for (e = 0; e < mp; ++e)
             v[e] = tanh(p0 * d[e]);
         break;
     case KIND_BOTTLENECK:
         /* -sin inside the horizon |d| < sigma (=p0), sign(d) outside;
          * the sin pass runs on the whole block (vectorisable), then the
          * outside lanes are overwritten. */
-        for (e = 0; e < m; ++e)
+        for (e = 0; e < mp; ++e)
             v[e] = -sin(p1 * d[e]);
         for (e = 0; e < m; ++e)
             if (!(fabs(d[e]) < p0))
                 v[e] = (double)((d[e] > 0.0) - (d[e] < 0.0));
         break;
     case KIND_KURAMOTO:
-        for (e = 0; e < m; ++e)
+        for (e = 0; e < mp; ++e)
             v[e] = sin(d[e]);
         break;
     default: /* KIND_LINEAR */
-        for (e = 0; e < m; ++e)
+        for (e = 0; e < mp; ++e)
             v[e] = p0 * d[e];
         break;
     }
 }
 
-/* Fused coupling for one (N,) state.  out[i] = vp * sum_e V(d_e) over
- * the rows, accumulated in row-major edge order (== np.bincount). */
-void pom_fused_single(const int32_t *rows, const int32_t *cols,
-                      int64_t n_edges, const double *theta, double *out,
-                      int64_t n, int64_t kind, double p0, double p1,
-                      double vp, double *sd, double *sv, int64_t block) {
+/* First edge index whose row is >= value (rows are sorted row-major,
+ * guaranteed by Topology.from_edge_arrays).  Row-aligned edge spans are
+ * what make the parallel scatter race-free without atomics. */
+static int64_t row_lower_bound(const int32_t *rows, int64_t n_edges,
+                               int64_t value) {
+    int64_t lo = 0, hi = n_edges;
+    while (lo < hi) {
+        int64_t mid = lo + (hi - lo) / 2;
+        if ((int64_t)rows[mid] < value)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+/* Fused coupling restricted to output rows [r0, r1): zero, accumulate
+ * the row-aligned edge span in row-major order, scale.  The full-range
+ * call (0, n) is arithmetically identical to the pre-threading serial
+ * kernel; chunked calls touch disjoint rows, so any row-aligned
+ * decomposition reproduces the serial bits. */
+static void fused_span(const int32_t *rows, const int32_t *cols,
+                       int64_t n_edges, const double *theta, double *out,
+                       int64_t r0, int64_t r1, int64_t kind, double p0,
+                       double p1, double vp, double *sd, double *sv,
+                       int64_t block) {
     int64_t i, e, b0;
-    for (i = 0; i < n; ++i)
+    int64_t e0 = row_lower_bound(rows, n_edges, r0);
+    int64_t e1 = row_lower_bound(rows, n_edges, r1);
+    for (i = r0; i < r1; ++i)
         out[i] = 0.0;
-    for (b0 = 0; b0 < n_edges; b0 += block) {
-        int64_t b1 = b0 + block < n_edges ? b0 + block : n_edges;
+    for (b0 = e0; b0 < e1; b0 += block) {
+        int64_t b1 = b0 + block < e1 ? b0 + block : e1;
         int64_t m = b1 - b0;
         const int32_t *rb = rows + b0;
         const int32_t *cb = cols + b0;
@@ -105,21 +181,68 @@ void pom_fused_single(const int32_t *rows, const int32_t *cols,
         for (e = 0; e < m; ++e)
             out[rb[e]] += sv[e];
     }
-    for (i = 0; i < n; ++i)
+    for (i = r0; i < r1; ++i)
         out[i] *= vp;
 }
 
+/* Fused coupling for one (N,) state.  out[i] = vp * sum_e V(d_e) over
+ * the rows, accumulated in row-major edge order (== np.bincount). */
+void pom_fused_single(const int32_t *rows, const int32_t *cols,
+                      int64_t n_edges, const double *theta, double *out,
+                      int64_t n, int64_t kind, double p0, double p1,
+                      double vp, double *sd, double *sv, int64_t block,
+                      int64_t threads) {
+#ifdef _OPENMP
+    if (threads > 1) {
+#pragma omp parallel num_threads((int)threads)
+        {
+            int64_t nt = (int64_t)omp_get_num_threads();
+            int64_t tid = (int64_t)omp_get_thread_num();
+            fused_span(rows, cols, n_edges, theta, out, n * tid / nt,
+                       n * (tid + 1) / nt, kind, p0, p1, vp,
+                       sd + tid * block, sv + tid * block, block);
+        }
+        return;
+    }
+#endif
+    (void)threads;
+    fused_span(rows, cols, n_edges, theta, out, 0, n, kind, p0, p1, vp,
+               sd, sv, block);
+}
+
 /* Fused coupling for a stacked (R, N) super-state with per-member
- * potential coefficients and coupling strengths. */
+ * potential coefficients and coupling strengths.  The parallel path
+ * flattens (member, row-chunk) work items so small-R stacks still fill
+ * the thread pool. */
 void pom_fused_batched(const int32_t *rows, const int32_t *cols,
                        int64_t n_edges, const double *theta, double *out,
                        int64_t r_count, int64_t n, const int64_t *kinds,
                        const double *p0, const double *p1, const double *vp,
-                       double *sd, double *sv, int64_t block) {
+                       double *sd, double *sv, int64_t block,
+                       int64_t threads) {
     int64_t r;
+#ifdef _OPENMP
+    if (threads > 1) {
+        int64_t splits = (threads + r_count - 1) / r_count;
+        int64_t total = r_count * splits;
+        int64_t w;
+#pragma omp parallel for schedule(dynamic, 1) num_threads((int)threads)
+        for (w = 0; w < total; ++w) {
+            int64_t tid = (int64_t)omp_get_thread_num();
+            int64_t rr = w / splits;
+            int64_t c = w % splits;
+            fused_span(rows, cols, n_edges, theta + rr * n, out + rr * n,
+                       n * c / splits, n * (c + 1) / splits, kinds[rr],
+                       p0[rr], p1[rr], vp[rr], sd + tid * block,
+                       sv + tid * block, block);
+        }
+        return;
+    }
+#endif
+    (void)threads;
     for (r = 0; r < r_count; ++r)
-        pom_fused_single(rows, cols, n_edges, theta + r * n, out + r * n,
-                         n, kinds[r], p0[r], p1[r], vp[r], sd, sv, block);
+        fused_span(rows, cols, n_edges, theta + r * n, out + r * n, 0, n,
+                   kinds[r], p0[r], p1[r], vp[r], sd, sv, block);
 }
 
 /* Distance-ring specialisation: every row couples to i + d (mod n) for
@@ -132,26 +255,12 @@ static void ring_segment(const double *shifted, const double *th, double *o,
                          int64_t m, int64_t kind, double p0, double p1,
                          double *sd, double *sv, int64_t block) {
     int64_t b0, e;
-    /* tanh/kuramoto/linear need no scratch at all: one streaming pass
-     * with the transcendental inlined keeps the whole segment at three
-     * memory streams.  The bottleneck family keeps the blocked two-pass
-     * form because its outside-the-horizon lanes reread d. */
-    switch (kind) {
-    case KIND_TANH:
-        for (e = 0; e < m; ++e)
-            o[e] += tanh(p0 * (shifted[e] - th[e]));
-        return;
-    case KIND_KURAMOTO:
-        for (e = 0; e < m; ++e)
-            o[e] += sin(shifted[e] - th[e]);
-        return;
-    case KIND_LINEAR:
-        for (e = 0; e < m; ++e)
-            o[e] += p0 * (shifted[e] - th[e]);
-        return;
-    default:
-        break;
-    }
+    /* Every kind goes through the blocked scratch form: the gather and
+     * the accumulate are exact IEEE ops (vectorisation-invariant), and
+     * the transcendental runs inside the one noinline potential_block
+     * instance — the determinism contract that keeps thread chunking
+     * bit-exact.  (A streaming pass with the transcendental inlined
+     * would re-tie element values to the segment trip count.) */
     for (b0 = 0; b0 < m; b0 += block) {
         int64_t b1 = b0 + block < m ? b0 + block : m;
         int64_t len = b1 - b0;
@@ -163,24 +272,54 @@ static void ring_segment(const double *shifted, const double *th, double *o,
     }
 }
 
-void pom_fused_ring_single(const int64_t *offsets, int64_t n_offsets,
-                           const double *theta, double *out, int64_t n,
-                           int64_t kind, double p0, double p1, double vp,
-                           double *sd, double *sv, int64_t block) {
+/* Ring coupling restricted to elements [i0, i1): per offset, the main
+ * segment (partner i + d) and the wrapped segment (partner i + d - n)
+ * are clipped against the chunk.  The full-range call (0, n) is the
+ * pre-threading serial pass order. */
+static void ring_chunk(const int64_t *offsets, int64_t n_offsets,
+                       const double *theta, double *out, int64_t n,
+                       int64_t i0, int64_t i1, int64_t kind, double p0,
+                       double p1, double vp, double *sd, double *sv,
+                       int64_t block) {
     int64_t i, k;
-    for (i = 0; i < n; ++i)
+    for (i = i0; i < i1; ++i)
         out[i] = 0.0;
     for (k = 0; k < n_offsets; ++k) {
         int64_t d = offsets[k];      /* normalised to [1, n-1] */
-        /* i in [0, n-d): partner theta[i + d] */
-        ring_segment(theta + d, theta, out, n - d, kind, p0, p1,
-                     sd, sv, block);
-        /* i in [n-d, n): partner wraps to theta[i + d - n] = theta[i - (n-d)] */
-        ring_segment(theta, theta + (n - d), out + (n - d), d,
-                     kind, p0, p1, sd, sv, block);
+        int64_t a1 = (n - d) < i1 ? (n - d) : i1;
+        int64_t b0 = (n - d) > i0 ? (n - d) : i0;
+        if (a1 > i0)
+            ring_segment(theta + d + i0, theta + i0, out + i0, a1 - i0,
+                         kind, p0, p1, sd, sv, block);
+        if (i1 > b0)
+            ring_segment(theta + (d - n) + b0, theta + b0, out + b0,
+                         i1 - b0, kind, p0, p1, sd, sv, block);
     }
-    for (i = 0; i < n; ++i)
+    for (i = i0; i < i1; ++i)
         out[i] *= vp;
+}
+
+void pom_fused_ring_single(const int64_t *offsets, int64_t n_offsets,
+                           const double *theta, double *out, int64_t n,
+                           int64_t kind, double p0, double p1, double vp,
+                           double *sd, double *sv, int64_t block,
+                           int64_t threads) {
+#ifdef _OPENMP
+    if (threads > 1) {
+#pragma omp parallel num_threads((int)threads)
+        {
+            int64_t nt = (int64_t)omp_get_num_threads();
+            int64_t tid = (int64_t)omp_get_thread_num();
+            ring_chunk(offsets, n_offsets, theta, out, n, n * tid / nt,
+                       n * (tid + 1) / nt, kind, p0, p1, vp,
+                       sd + tid * block, sv + tid * block, block);
+        }
+        return;
+    }
+#endif
+    (void)threads;
+    ring_chunk(offsets, n_offsets, theta, out, n, 0, n, kind, p0, p1, vp,
+               sd, sv, block);
 }
 
 void pom_fused_ring_batched(const int64_t *offsets, int64_t n_offsets,
@@ -188,38 +327,179 @@ void pom_fused_ring_batched(const int64_t *offsets, int64_t n_offsets,
                             int64_t r_count, int64_t n, const int64_t *kinds,
                             const double *p0, const double *p1,
                             const double *vp, double *sd, double *sv,
-                            int64_t block) {
+                            int64_t block, int64_t threads) {
     int64_t r;
+#ifdef _OPENMP
+    if (threads > 1) {
+        int64_t splits = (threads + r_count - 1) / r_count;
+        int64_t total = r_count * splits;
+        int64_t w;
+#pragma omp parallel for schedule(dynamic, 1) num_threads((int)threads)
+        for (w = 0; w < total; ++w) {
+            int64_t tid = (int64_t)omp_get_thread_num();
+            int64_t rr = w / splits;
+            int64_t c = w % splits;
+            ring_chunk(offsets, n_offsets, theta + rr * n, out + rr * n, n,
+                       n * c / splits, n * (c + 1) / splits, kinds[rr],
+                       p0[rr], p1[rr], vp[rr], sd + tid * block,
+                       sv + tid * block, block);
+        }
+        return;
+    }
+#endif
+    (void)threads;
     for (r = 0; r < r_count; ++r)
-        pom_fused_ring_single(offsets, n_offsets, theta + r * n,
-                              out + r * n, n, kinds[r], p0[r], p1[r], vp[r],
-                              sd, sv, block);
+        ring_chunk(offsets, n_offsets, theta + r * n, out + r * n, n, 0, n,
+                   kinds[r], p0[r], p1[r], vp[r], sd, sv, block);
+}
+
+/* 2-D torus halo specialisation.  The flat index is i = y*w + x with
+ * row width w.  Column-direction (and any other whole-lattice) offsets
+ * have one partner i + d (mod n) per element — ring passes over the
+ * flat state.  Row-direction offsets wrap inside each width-w row:
+ * partner y*w + (x + dx) % w — two contiguous segments per row.  Both
+ * families are unit-stride; chunking is by torus row, so the parallel
+ * decomposition stays row-aligned. */
+static void torus_chunk(const int64_t *col_offs, int64_t n_col,
+                        const int64_t *row_dxs, int64_t n_dx, int64_t w,
+                        const double *theta, double *out, int64_t n,
+                        int64_t y0, int64_t y1, int64_t kind, double p0,
+                        double p1, double vp, double *sd, double *sv,
+                        int64_t block) {
+    int64_t i0 = y0 * w, i1 = y1 * w;
+    int64_t i, k, y;
+    for (i = i0; i < i1; ++i)
+        out[i] = 0.0;
+    for (k = 0; k < n_col; ++k) {
+        int64_t d = col_offs[k];     /* whole-lattice offset in [1, n-1] */
+        int64_t a1 = (n - d) < i1 ? (n - d) : i1;
+        int64_t b0 = (n - d) > i0 ? (n - d) : i0;
+        if (a1 > i0)
+            ring_segment(theta + d + i0, theta + i0, out + i0, a1 - i0,
+                         kind, p0, p1, sd, sv, block);
+        if (i1 > b0)
+            ring_segment(theta + (d - n) + b0, theta + b0, out + b0,
+                         i1 - b0, kind, p0, p1, sd, sv, block);
+    }
+    for (k = 0; k < n_dx; ++k) {
+        int64_t dx = row_dxs[k];     /* within-row offset in [1, w-1] */
+        for (y = y0; y < y1; ++y) {
+            const double *th = theta + y * w;
+            double *o = out + y * w;
+            ring_segment(th + dx, th, o, w - dx, kind, p0, p1,
+                         sd, sv, block);
+            ring_segment(th, th + (w - dx), o + (w - dx), dx, kind, p0, p1,
+                         sd, sv, block);
+        }
+    }
+    for (i = i0; i < i1; ++i)
+        out[i] *= vp;
+}
+
+void pom_fused_torus_single(const int64_t *col_offs, int64_t n_col,
+                            const int64_t *row_dxs, int64_t n_dx,
+                            int64_t w, const double *theta, double *out,
+                            int64_t n, int64_t kind, double p0, double p1,
+                            double vp, double *sd, double *sv,
+                            int64_t block, int64_t threads) {
+    int64_t h = n / w;
+#ifdef _OPENMP
+    if (threads > 1) {
+#pragma omp parallel num_threads((int)threads)
+        {
+            int64_t nt = (int64_t)omp_get_num_threads();
+            int64_t tid = (int64_t)omp_get_thread_num();
+            torus_chunk(col_offs, n_col, row_dxs, n_dx, w, theta, out, n,
+                        h * tid / nt, h * (tid + 1) / nt, kind, p0, p1, vp,
+                        sd + tid * block, sv + tid * block, block);
+        }
+        return;
+    }
+#endif
+    (void)threads;
+    torus_chunk(col_offs, n_col, row_dxs, n_dx, w, theta, out, n, 0, h,
+                kind, p0, p1, vp, sd, sv, block);
+}
+
+void pom_fused_torus_batched(const int64_t *col_offs, int64_t n_col,
+                             const int64_t *row_dxs, int64_t n_dx,
+                             int64_t w, const double *theta, double *out,
+                             int64_t r_count, int64_t n,
+                             const int64_t *kinds, const double *p0,
+                             const double *p1, const double *vp,
+                             double *sd, double *sv, int64_t block,
+                             int64_t threads) {
+    int64_t r;
+    int64_t h = n / w;
+#ifdef _OPENMP
+    if (threads > 1) {
+        int64_t splits = (threads + r_count - 1) / r_count;
+        int64_t total = r_count * splits;
+        int64_t wi;
+#pragma omp parallel for schedule(dynamic, 1) num_threads((int)threads)
+        for (wi = 0; wi < total; ++wi) {
+            int64_t tid = (int64_t)omp_get_thread_num();
+            int64_t rr = wi / splits;
+            int64_t c = wi % splits;
+            torus_chunk(col_offs, n_col, row_dxs, n_dx, w, theta + rr * n,
+                        out + rr * n, n, h * c / splits,
+                        h * (c + 1) / splits, kinds[rr], p0[rr], p1[rr],
+                        vp[rr], sd + tid * block, sv + tid * block, block);
+        }
+        return;
+    }
+#endif
+    (void)threads;
+    for (r = 0; r < r_count; ++r)
+        torus_chunk(col_offs, n_col, row_dxs, n_dx, w, theta + r * n,
+                    out + r * n, n, 0, h, kinds[r], p0[r], p1[r], vp[r],
+                    sd, sv, block);
 }
 """
 
-#: edge-block length (doubles); two scratch blocks stay L2-resident
+#: edge-block length (doubles); two scratch blocks per thread stay
+#: L2-resident
 BLOCK_EDGES = 16384
 
-#: compile-stage flag sets tried in order until one builds.  NOTE: the
-#: object is compiled with -ffast-math (needed for the libmvec SIMD
-#: transcendentals) but LINKED without it — linking a shared library
-#: with -ffast-math pulls in crtfastmath.o, whose constructor flips the
-#: process-wide FTZ/DAZ bits at dlopen time and silently breaks
-#: subnormal arithmetic for the whole interpreter.
+#: (compile flags, extra link flags) tried in order until one builds.
+#: NOTE: the object is compiled with -ffast-math (needed for the libmvec
+#: SIMD transcendentals) but LINKED without it — linking a shared
+#: library with -ffast-math pulls in crtfastmath.o, whose constructor
+#: flips the process-wide FTZ/DAZ bits at dlopen time and silently
+#: breaks subnormal arithmetic for the whole interpreter.  -fopenmp *is*
+#: needed on the link line (libgomp); it does not pull crtfastmath.o.
 _FLAG_SETS = (
-    # glibc + x86: vectorised libm via libmvec, widest SIMD available
-    [
-        "-O3",
-        "-march=native",
-        "-mprefer-vector-width=512",
-        "-ffast-math",
-        "-fopenmp-simd",
-        "-fPIC",
-    ],
-    # portable optimised build
-    ["-O3", "-ffast-math", "-fPIC"],
+    # glibc + x86: vectorised libm via libmvec, widest SIMD available,
+    # OpenMP row-parallel loops
+    (
+        [
+            "-O3",
+            "-march=native",
+            "-mprefer-vector-width=512",
+            "-ffast-math",
+            "-fopenmp-simd",
+            "-fopenmp",
+            "-fPIC",
+        ],
+        ["-fopenmp"],
+    ),
+    # same without OpenMP (serial kernels, threads knob is a no-op)
+    (
+        [
+            "-O3",
+            "-march=native",
+            "-mprefer-vector-width=512",
+            "-ffast-math",
+            "-fopenmp-simd",
+            "-fPIC",
+        ],
+        [],
+    ),
+    # portable optimised builds
+    (["-O3", "-ffast-math", "-fopenmp", "-fPIC"], ["-fopenmp"]),
+    (["-O3", "-ffast-math", "-fPIC"], []),
     # last resort
-    ["-O2", "-fPIC"],
+    (["-O2", "-fPIC"], []),
 )
 
 _lib: ctypes.CDLL | None = None
@@ -270,11 +550,11 @@ def _build(path: str) -> bool:
     src = path[:-3] + ".c"
     with open(src, "w") as fh:
         fh.write(_SOURCE)
-    for flags in _FLAG_SETS:
+    for flags, link_extra in _FLAG_SETS:
         obj = f"{path}.o{os.getpid()}"
         tmp = f"{path}.tmp{os.getpid()}"
         compile_cmd = [compiler, "-c", *flags, "-o", obj, src]
-        link_cmd = [compiler, "-shared", "-o", tmp, obj, "-lm"]
+        link_cmd = [compiler, "-shared", *link_extra, "-o", tmp, obj, "-lm"]
         try:
             proc = subprocess.run(compile_cmd, capture_output=True, timeout=120)
             if proc.returncode == 0:
@@ -300,9 +580,12 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
     f64p = ctypes.POINTER(ctypes.c_double)
     edge = [i32p, i32p, i64, f64p, f64p]
     ring = [i64p, i64, f64p, f64p]
+    torus = [i64p, i64, i64p, i64, i64, f64p, f64p]
     single = [i64, i64, f64, f64, f64]
     batched = [i64, i64, i64p, f64p, f64p, f64p]
-    scratch = [f64p, f64p, i64]
+    scratch = [f64p, f64p, i64, i64]
+    lib.pom_openmp_available.restype = i64
+    lib.pom_openmp_available.argtypes = []
     lib.pom_fused_single.restype = None
     lib.pom_fused_single.argtypes = edge + single + scratch
     lib.pom_fused_batched.restype = None
@@ -311,6 +594,10 @@ def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
     lib.pom_fused_ring_single.argtypes = ring + single + scratch
     lib.pom_fused_ring_batched.restype = None
     lib.pom_fused_ring_batched.argtypes = ring + batched + scratch
+    lib.pom_fused_torus_single.restype = None
+    lib.pom_fused_torus_single.argtypes = torus + single + scratch
+    lib.pom_fused_torus_batched.restype = None
+    lib.pom_fused_torus_batched.argtypes = torus + batched + scratch
     return lib
 
 
@@ -339,6 +626,18 @@ def cc_available() -> bool:
     return load_library() is not None
 
 
+def openmp_available() -> bool:
+    """True when the compiled kernel binary carries OpenMP support.
+
+    False either because no kernel builds at all or because the
+    flag-set fallback chain landed on a serial build — in both cases
+    ``threads > 1`` silently degrades to the serial (bit-identical)
+    path.
+    """
+    lib = load_library()
+    return bool(lib is not None and lib.pom_openmp_available())
+
+
 def _f64p(a: np.ndarray):
     return a.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
 
@@ -351,27 +650,52 @@ def _i64p(a: np.ndarray):
     return a.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
 
 
-class _Scratch:
-    """Reused per-call scratch blocks (two BLOCK_EDGES-long doubles).
+def _aligned_empty(n: int) -> np.ndarray:
+    """A float64 scratch array on a 64-byte boundary.
 
-    One pair per *thread*: ctypes releases the GIL for the duration of
-    the C call, so concurrent evaluations from different threads must
-    not share write buffers.
+    Pinning the alignment removes the last trip-count-adjacent source
+    of SIMD variance: a compiler that peels iterations until a pointer
+    is aligned peels the *same* count on every call.  (BLOCK_EDGES * 8
+    is a multiple of 64, so the per-OpenMP-thread slices inherit the
+    alignment.)
+    """
+    raw = np.empty(n + 8, dtype=np.float64)
+    off = (-raw.ctypes.data % 64) // 8
+    return raw[off:off + n]
+
+
+class _Scratch:
+    """Reused per-call scratch: two ``threads * BLOCK_EDGES`` doubles.
+
+    One pair per *Python thread*: ctypes releases the GIL for the
+    duration of the C call, so concurrent evaluations from different
+    threads must not share write buffers.  Inside one call, OpenMP
+    thread ``tid`` works in the disjoint slice ``[tid * BLOCK_EDGES,
+    (tid + 1) * BLOCK_EDGES)``.
     """
 
-    def __init__(self) -> None:
-        self.sd = np.empty(BLOCK_EDGES)
-        self.sv = np.empty(BLOCK_EDGES)
+    def __init__(self, threads: int) -> None:
+        self.threads = threads
+        self.sd = _aligned_empty(threads * BLOCK_EDGES)
+        self.sv = _aligned_empty(threads * BLOCK_EDGES)
 
 
 _tls = threading.local()
 
 
-def _scratch_buffers() -> "_Scratch":
+def _scratch_buffers(threads: int = 1) -> "_Scratch":
     scratch = getattr(_tls, "scratch", None)
-    if scratch is None:
-        scratch = _tls.scratch = _Scratch()
+    if scratch is None or scratch.threads < threads:
+        scratch = _tls.scratch = _Scratch(threads)
     return scratch
+
+
+def _clamp_threads(threads: int) -> int:
+    """Effective OpenMP team size: 1 unless the binary supports more."""
+    t = int(threads)
+    if t <= 1:
+        return 1
+    return t if openmp_available() else 1
 
 
 def ring_offsets(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray | None:
@@ -392,6 +716,55 @@ def ring_offsets(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray | Non
     return np.ascontiguousarray(uniq, dtype=np.int64)
 
 
+def torus_halo(
+    rows: np.ndarray, cols: np.ndarray, n: int
+) -> tuple[int, np.ndarray, np.ndarray] | None:
+    """Halo decomposition of a 2-D torus edge list, or ``None``.
+
+    Detects (from the edge list alone, like :func:`ring_offsets`) that
+    the topology splits into
+
+    * **whole-lattice offsets** — every element couples to ``i + d (mod
+      n)`` (the column/vertical halo plus any diagonal rings), and
+    * **within-row offsets** — partners stay inside width-``w`` rows,
+      coupling ``x`` to ``(x + dx) % w`` (the horizontal halo, whose
+      flat offset is *not* uniform because of the per-row wrap — the
+      reason these edges defeat the plain ring detection).
+
+    ``w`` is recovered as the gcd of the whole-lattice offsets (for a
+    ``W x H`` torus the vertical offsets are ``W`` and ``n - W``), and
+    every remaining edge is verified to be within-row with each ``dx``
+    covering all ``n`` elements exactly once.  Returns ``(w,
+    col_offsets, row_dxs)`` for the compiled torus kernels, or ``None``
+    when the edge list is not of this shape (including pure rings,
+    which the cheaper ring path already covers).
+    """
+    if rows.size == 0:
+        return None
+    offs = (cols - rows) % n
+    uniq, counts = np.unique(offs, return_counts=True)
+    if uniq.size == 0 or uniq[0] == 0:
+        return None
+    full = uniq[counts == n]
+    if full.size == 0 or full.size == uniq.size:
+        return None  # no lattice rings, or a pure ring (handled upstream)
+    w = int(np.gcd.reduce(np.concatenate([full, [np.int64(n)]])))
+    if w <= 1 or n % w != 0:
+        return None
+    sel = np.isin(offs, uniq[counts != n])
+    pr, pc = rows[sel], cols[sel]
+    if not np.array_equal(pr // w, pc // w):
+        return None  # partial-offset edges leave their row: not a torus
+    dxs, dcounts = np.unique((pc - pr) % w, return_counts=True)
+    if dxs.size == 0 or dxs[0] == 0 or not np.all(dcounts == n):
+        return None
+    return (
+        w,
+        np.ascontiguousarray(full, dtype=np.int64),
+        np.ascontiguousarray(dxs, dtype=np.int64),
+    )
+
+
 def fused_single(
     rows32: np.ndarray,
     cols32: np.ndarray,
@@ -401,10 +774,12 @@ def fused_single(
     p0: float,
     p1: float,
     vp_over_n: float,
+    threads: int = 1,
 ) -> np.ndarray:
     """Coupling term for one contiguous ``(N,)`` state into ``out``."""
     lib = load_library()
-    scratch = _scratch_buffers()
+    threads = _clamp_threads(threads)
+    scratch = _scratch_buffers(threads)
     lib.pom_fused_single(
         _i32p(rows32),
         _i32p(cols32),
@@ -419,6 +794,7 @@ def fused_single(
         _f64p(scratch.sd),
         _f64p(scratch.sv),
         ctypes.c_int64(BLOCK_EDGES),
+        ctypes.c_int64(threads),
     )
     return out
 
@@ -432,10 +808,12 @@ def fused_batched(
     p0: np.ndarray,
     p1: np.ndarray,
     vp_over_n: np.ndarray,
+    threads: int = 1,
 ) -> np.ndarray:
     """Coupling terms for a contiguous ``(R, N)`` super-state into ``out``."""
     lib = load_library()
-    scratch = _scratch_buffers()
+    threads = _clamp_threads(threads)
+    scratch = _scratch_buffers(threads)
     r, n = theta.shape
     lib.pom_fused_batched(
         _i32p(rows32),
@@ -452,6 +830,7 @@ def fused_batched(
         _f64p(scratch.sd),
         _f64p(scratch.sv),
         ctypes.c_int64(BLOCK_EDGES),
+        ctypes.c_int64(threads),
     )
     return out
 
@@ -464,10 +843,12 @@ def ring_single(
     p0: float,
     p1: float,
     vp_over_n: float,
+    threads: int = 1,
 ) -> np.ndarray:
     """Distance-ring coupling for one ``(N,)`` state into ``out``."""
     lib = load_library()
-    scratch = _scratch_buffers()
+    threads = _clamp_threads(threads)
+    scratch = _scratch_buffers(threads)
     lib.pom_fused_ring_single(
         _i64p(offsets),
         ctypes.c_int64(offsets.size),
@@ -481,6 +862,7 @@ def ring_single(
         _f64p(scratch.sd),
         _f64p(scratch.sv),
         ctypes.c_int64(BLOCK_EDGES),
+        ctypes.c_int64(threads),
     )
     return out
 
@@ -493,10 +875,12 @@ def ring_batched(
     p0: np.ndarray,
     p1: np.ndarray,
     vp_over_n: np.ndarray,
+    threads: int = 1,
 ) -> np.ndarray:
     """Distance-ring coupling for an ``(R, N)`` super-state into ``out``."""
     lib = load_library()
-    scratch = _scratch_buffers()
+    threads = _clamp_threads(threads)
+    scratch = _scratch_buffers(threads)
     r, n = theta.shape
     lib.pom_fused_ring_batched(
         _i64p(offsets),
@@ -512,5 +896,84 @@ def ring_batched(
         _f64p(scratch.sd),
         _f64p(scratch.sv),
         ctypes.c_int64(BLOCK_EDGES),
+        ctypes.c_int64(threads),
+    )
+    return out
+
+
+def torus_single(
+    halo: tuple[int, np.ndarray, np.ndarray],
+    theta: np.ndarray,
+    out: np.ndarray,
+    kind: int,
+    p0: float,
+    p1: float,
+    vp_over_n: float,
+    threads: int = 1,
+) -> np.ndarray:
+    """2-D torus halo coupling for one ``(N,)`` state into ``out``.
+
+    ``halo`` is the ``(w, col_offsets, row_dxs)`` decomposition from
+    :func:`torus_halo`.
+    """
+    w, col_offsets, row_dxs = halo
+    lib = load_library()
+    threads = _clamp_threads(threads)
+    scratch = _scratch_buffers(threads)
+    lib.pom_fused_torus_single(
+        _i64p(col_offsets),
+        ctypes.c_int64(col_offsets.size),
+        _i64p(row_dxs),
+        ctypes.c_int64(row_dxs.size),
+        ctypes.c_int64(w),
+        _f64p(theta),
+        _f64p(out),
+        ctypes.c_int64(theta.size),
+        ctypes.c_int64(kind),
+        ctypes.c_double(p0),
+        ctypes.c_double(p1),
+        ctypes.c_double(vp_over_n),
+        _f64p(scratch.sd),
+        _f64p(scratch.sv),
+        ctypes.c_int64(BLOCK_EDGES),
+        ctypes.c_int64(threads),
+    )
+    return out
+
+
+def torus_batched(
+    halo: tuple[int, np.ndarray, np.ndarray],
+    theta: np.ndarray,
+    out: np.ndarray,
+    kinds: np.ndarray,
+    p0: np.ndarray,
+    p1: np.ndarray,
+    vp_over_n: np.ndarray,
+    threads: int = 1,
+) -> np.ndarray:
+    """2-D torus halo coupling for an ``(R, N)`` super-state into ``out``."""
+    w, col_offsets, row_dxs = halo
+    lib = load_library()
+    threads = _clamp_threads(threads)
+    scratch = _scratch_buffers(threads)
+    r, n = theta.shape
+    lib.pom_fused_torus_batched(
+        _i64p(col_offsets),
+        ctypes.c_int64(col_offsets.size),
+        _i64p(row_dxs),
+        ctypes.c_int64(row_dxs.size),
+        ctypes.c_int64(w),
+        _f64p(theta),
+        _f64p(out),
+        ctypes.c_int64(r),
+        ctypes.c_int64(n),
+        _i64p(kinds),
+        _f64p(p0),
+        _f64p(p1),
+        _f64p(vp_over_n),
+        _f64p(scratch.sd),
+        _f64p(scratch.sv),
+        ctypes.c_int64(BLOCK_EDGES),
+        ctypes.c_int64(threads),
     )
     return out

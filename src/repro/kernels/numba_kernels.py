@@ -17,9 +17,22 @@ Like the C twin, distance-ring topologies (the paper's halo exchanges)
 take a specialised path (:func:`ring_single` / :func:`ring_batched`):
 for each normalised offset ``d`` the gather becomes two contiguous
 shifted segments and the scatter a contiguous accumulate, so numba's
-loops run at unit stride with no index arrays at all.  Accumulation is
-offset-by-offset (the C kernel's pass order, not the column order of
-``np.bincount``), which changes the row sums only at the ulp level.
+loops run at unit stride with no index arrays at all.  2-D tori take
+the halo path (:func:`torus_single` / :func:`torus_batched`, fed by
+:func:`repro.kernels.cc.torus_halo`): whole-lattice ring passes plus
+per-row shifted passes.  Accumulation in both is pass-by-pass (the C
+kernel's order, not the column order of ``np.bincount``), which changes
+the row sums only at the ulp level.
+
+Thread parallelism mirrors the C twin's contract: every wrapper takes a
+``threads`` argument, and ``threads > 1`` dispatches to a
+``parallel=True`` twin whose ``prange`` runs over **deterministic
+row-aligned chunks computed from the requested thread count** — never
+from the live numba pool size — with each chunk calling the same
+serial-jitted span/chunk helper.  Disjoint output rows, no atomics, and
+per-element math independent of the decomposition make ``threads=K``
+bit-identical to ``threads=1`` regardless of how numba actually
+schedules the chunks.
 """
 
 from __future__ import annotations
@@ -34,14 +47,19 @@ __all__ = [
     "fused_batched",
     "ring_single",
     "ring_batched",
+    "torus_single",
+    "torus_batched",
 ]
 
 try:  # pragma: no cover - exercised only on the with-numba CI leg
-    from numba import njit
+    import numba
+    from numba import njit, prange
 
     HAVE_NUMBA = True
 except ImportError:  # pragma: no cover
+    numba = None
     njit = None
+    prange = None
     HAVE_NUMBA = False
 
 
@@ -50,20 +68,59 @@ def numba_available() -> bool:
     return HAVE_NUMBA
 
 
+def _effective_threads(threads: int) -> int:
+    """Clamp the thread request to what numba's pool can honour.
+
+    The chunk count fed to ``prange`` equals the value returned here, so
+    the decomposition — and therefore the bits — depend only on the
+    request, but there is no point splitting beyond the pool.
+    """
+    if not HAVE_NUMBA or threads is None:
+        return 1
+    t = int(threads)
+    if t <= 1:
+        return 1
+    t = min(t, int(numba.config.NUMBA_NUM_THREADS))
+    if t > 1:
+        try:  # pragma: no cover - with-numba leg only
+            numba.set_num_threads(t)
+        except Exception:
+            return 1
+    return t
+
+
 if HAVE_NUMBA:  # pragma: no cover - exercised only on the with-numba CI leg
 
     @njit(cache=False)
-    def _coupling_row(rows, cols, theta, out, kind, p0, p1, vp_over_n):
-        n = theta.shape[0]
-        n_edges = rows.shape[0]
-        for i in range(n):
+    def _lower_bound(rows, value):
+        # First edge whose (sorted) row is >= value: row-aligned edge
+        # spans are what make the parallel scatter race-free.
+        lo = 0
+        hi = rows.shape[0]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if rows[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @njit(cache=False)
+    def _fused_span(rows, cols, theta, out, r0, r1, kind, p0, p1, vp_over_n):
+        # Fused coupling restricted to output rows [r0, r1); the
+        # full-range call (0, n) is the serial kernel, and any
+        # row-aligned decomposition reproduces its bits (numba's scalar
+        # math.* calls are pure per-element functions).
+        e0 = _lower_bound(rows, r0)
+        e1 = _lower_bound(rows, r1)
+        for i in range(r0, r1):
             out[i] = 0.0
         if kind == 0:  # tanh
-            for e in range(n_edges):
+            for e in range(e0, e1):
                 d = theta[cols[e]] - theta[rows[e]]
                 out[rows[e]] += math.tanh(p0 * d)
         elif kind == 1:  # bottleneck
-            for e in range(n_edges):
+            for e in range(e0, e1):
                 d = theta[cols[e]] - theta[rows[e]]
                 if abs(d) < p0:
                     out[rows[e]] += -math.sin(p1 * d)
@@ -72,22 +129,72 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only on the with-numba CI leg
                 elif d < 0.0:
                     out[rows[e]] += -1.0
         elif kind == 2:  # kuramoto
-            for e in range(n_edges):
+            for e in range(e0, e1):
                 d = theta[cols[e]] - theta[rows[e]]
                 out[rows[e]] += math.sin(d)
         else:  # linear
-            for e in range(n_edges):
+            for e in range(e0, e1):
                 d = theta[cols[e]] - theta[rows[e]]
                 out[rows[e]] += p0 * d
-        for i in range(n):
+        for i in range(r0, r1):
             out[i] *= vp_over_n
 
     @njit(cache=False)
     def _fused_batched_impl(rows, cols, theta, out, kinds, p0, p1, vp_over_n):
         r_count = theta.shape[0]
+        n = theta.shape[1]
         for r in range(r_count):
-            _coupling_row(
-                rows, cols, theta[r], out[r], kinds[r], p0[r], p1[r], vp_over_n[r]
+            _fused_span(
+                rows,
+                cols,
+                theta[r],
+                out[r],
+                0,
+                n,
+                kinds[r],
+                p0[r],
+                p1[r],
+                vp_over_n[r],
+            )
+
+    @njit(cache=False, parallel=True)
+    def _fused_single_par(rows, cols, theta, out, kind, p0, p1, vp_over_n, chunks):
+        n = theta.shape[0]
+        for c in prange(chunks):
+            _fused_span(
+                rows,
+                cols,
+                theta,
+                out,
+                n * c // chunks,
+                n * (c + 1) // chunks,
+                kind,
+                p0,
+                p1,
+                vp_over_n,
+            )
+
+    @njit(cache=False, parallel=True)
+    def _fused_batched_par(rows, cols, theta, out, kinds, p0, p1, vp_over_n, chunks):
+        # Flattened (member, row-chunk) work items so small-R stacks
+        # still fill the pool; splits is derived from the request only.
+        r_count = theta.shape[0]
+        n = theta.shape[1]
+        splits = (chunks + r_count - 1) // r_count
+        for w in prange(r_count * splits):
+            r = w // splits
+            c = w % splits
+            _fused_span(
+                rows,
+                cols,
+                theta[r],
+                out[r],
+                n * c // splits,
+                n * (c + 1) // splits,
+                kinds[r],
+                p0[r],
+                p1[r],
+                vp_over_n[r],
             )
 
     @njit(cache=False)
@@ -115,25 +222,185 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only on the with-numba CI leg
                 out[i] += p0 * (theta[i + shift] - theta[i])
 
     @njit(cache=False)
-    def _ring_row(offsets, theta, out, kind, p0, p1, vp_over_n):
-        n = theta.shape[0]
-        for i in range(n):
+    def _ring_chunk(offsets, theta, out, n, i0, i1, kind, p0, p1, vp_over_n):
+        # Ring coupling restricted to elements [i0, i1): per offset, the
+        # main segment (partner i + d) and the wrapped segment (partner
+        # i + d - n) are clipped against the chunk.
+        for i in range(i0, i1):
             out[i] = 0.0
         for k in range(offsets.shape[0]):
             d = offsets[k]  # normalised to [1, n-1]
-            # i in [0, n-d): partner theta[i + d]
-            _ring_pass(theta, out, 0, n - d, d, kind, p0, p1)
-            # i in [n-d, n): partner wraps to theta[i + d - n]
-            _ring_pass(theta, out, n - d, n, d - n, kind, p0, p1)
-        for i in range(n):
+            a1 = min(n - d, i1)
+            b0 = max(n - d, i0)
+            if a1 > i0:
+                _ring_pass(theta, out, i0, a1, d, kind, p0, p1)
+            if i1 > b0:
+                _ring_pass(theta, out, b0, i1, d - n, kind, p0, p1)
+        for i in range(i0, i1):
             out[i] *= vp_over_n
 
     @njit(cache=False)
     def _ring_batched_impl(offsets, theta, out, kinds, p0, p1, vp_over_n):
         r_count = theta.shape[0]
+        n = theta.shape[1]
         for r in range(r_count):
-            _ring_row(
-                offsets, theta[r], out[r], kinds[r], p0[r], p1[r], vp_over_n[r]
+            _ring_chunk(
+                offsets,
+                theta[r],
+                out[r],
+                n,
+                0,
+                n,
+                kinds[r],
+                p0[r],
+                p1[r],
+                vp_over_n[r],
+            )
+
+    @njit(cache=False, parallel=True)
+    def _ring_single_par(offsets, theta, out, kind, p0, p1, vp_over_n, chunks):
+        n = theta.shape[0]
+        for c in prange(chunks):
+            _ring_chunk(
+                offsets,
+                theta,
+                out,
+                n,
+                n * c // chunks,
+                n * (c + 1) // chunks,
+                kind,
+                p0,
+                p1,
+                vp_over_n,
+            )
+
+    @njit(cache=False, parallel=True)
+    def _ring_batched_par(offsets, theta, out, kinds, p0, p1, vp_over_n, chunks):
+        r_count = theta.shape[0]
+        n = theta.shape[1]
+        splits = (chunks + r_count - 1) // r_count
+        for w in prange(r_count * splits):
+            r = w // splits
+            c = w % splits
+            _ring_chunk(
+                offsets,
+                theta[r],
+                out[r],
+                n,
+                n * c // splits,
+                n * (c + 1) // splits,
+                kinds[r],
+                p0[r],
+                p1[r],
+                vp_over_n[r],
+            )
+
+    @njit(cache=False)
+    def _torus_chunk(
+        col_offs,
+        row_dxs,
+        w,
+        theta,
+        out,
+        n,
+        y0,
+        y1,
+        kind,
+        p0,
+        p1,
+        vp_over_n,
+    ):
+        # Torus coupling restricted to lattice rows [y0, y1) of width w:
+        # whole-lattice offsets are ring passes over the flat state,
+        # within-row offsets wrap inside each width-w row.
+        i0 = y0 * w
+        i1 = y1 * w
+        for i in range(i0, i1):
+            out[i] = 0.0
+        for k in range(col_offs.shape[0]):
+            d = col_offs[k]  # whole-lattice offset in [1, n-1]
+            a1 = min(n - d, i1)
+            b0 = max(n - d, i0)
+            if a1 > i0:
+                _ring_pass(theta, out, i0, a1, d, kind, p0, p1)
+            if i1 > b0:
+                _ring_pass(theta, out, b0, i1, d - n, kind, p0, p1)
+        for k in range(row_dxs.shape[0]):
+            dx = row_dxs[k]  # within-row offset in [1, w-1]
+            for y in range(y0, y1):
+                base = y * w
+                _ring_pass(theta, out, base, base + w - dx, dx, kind, p0, p1)
+                _ring_pass(theta, out, base + w - dx, base + w, dx - w, kind, p0, p1)
+        for i in range(i0, i1):
+            out[i] *= vp_over_n
+
+    @njit(cache=False)
+    def _torus_batched_impl(col_offs, row_dxs, w, theta, out, kinds, p0, p1, vp_over_n):
+        r_count = theta.shape[0]
+        n = theta.shape[1]
+        h = n // w
+        for r in range(r_count):
+            _torus_chunk(
+                col_offs,
+                row_dxs,
+                w,
+                theta[r],
+                out[r],
+                n,
+                0,
+                h,
+                kinds[r],
+                p0[r],
+                p1[r],
+                vp_over_n[r],
+            )
+
+    @njit(cache=False, parallel=True)
+    def _torus_single_par(
+        col_offs, row_dxs, w, theta, out, kind, p0, p1, vp_over_n, chunks
+    ):
+        n = theta.shape[0]
+        h = n // w
+        for c in prange(chunks):
+            _torus_chunk(
+                col_offs,
+                row_dxs,
+                w,
+                theta,
+                out,
+                n,
+                h * c // chunks,
+                h * (c + 1) // chunks,
+                kind,
+                p0,
+                p1,
+                vp_over_n,
+            )
+
+    @njit(cache=False, parallel=True)
+    def _torus_batched_par(
+        col_offs, row_dxs, w, theta, out, kinds, p0, p1, vp_over_n, chunks
+    ):
+        r_count = theta.shape[0]
+        n = theta.shape[1]
+        h = n // w
+        splits = (chunks + r_count - 1) // r_count
+        for wi in prange(r_count * splits):
+            r = wi // splits
+            c = wi % splits
+            _torus_chunk(
+                col_offs,
+                row_dxs,
+                w,
+                theta[r],
+                out[r],
+                n,
+                h * c // splits,
+                h * (c + 1) // splits,
+                kinds[r],
+                p0[r],
+                p1[r],
+                vp_over_n[r],
             )
 
 
@@ -146,9 +413,16 @@ def fused_single(
     p0: float,
     p1: float,
     vp_over_n: float,
+    threads: int = 1,
 ) -> np.ndarray:
     """Coupling term for one ``(N,)`` state into ``out`` (requires numba)."""
-    _coupling_row(rows32, cols32, theta, out, kind, p0, p1, vp_over_n)
+    t = _effective_threads(threads)
+    if t > 1:
+        _fused_single_par(rows32, cols32, theta, out, kind, p0, p1, vp_over_n, t)
+    else:
+        _fused_span(
+            rows32, cols32, theta, out, 0, theta.shape[0], kind, p0, p1, vp_over_n
+        )
     return out
 
 
@@ -161,9 +435,14 @@ def fused_batched(
     p0: np.ndarray,
     p1: np.ndarray,
     vp_over_n: np.ndarray,
+    threads: int = 1,
 ) -> np.ndarray:
     """Coupling terms for an ``(R, N)`` super-state into ``out`` (numba)."""
-    _fused_batched_impl(rows32, cols32, theta, out, kinds, p0, p1, vp_over_n)
+    t = _effective_threads(threads)
+    if t > 1:
+        _fused_batched_par(rows32, cols32, theta, out, kinds, p0, p1, vp_over_n, t)
+    else:
+        _fused_batched_impl(rows32, cols32, theta, out, kinds, p0, p1, vp_over_n)
     return out
 
 
@@ -175,6 +454,7 @@ def ring_single(
     p0: float,
     p1: float,
     vp_over_n: float,
+    threads: int = 1,
 ) -> np.ndarray:
     """Distance-ring coupling for one ``(N,)`` state into ``out`` (numba).
 
@@ -182,7 +462,22 @@ def ring_single(
     :func:`repro.kernels.cc.ring_offsets` (int64, values in
     ``[1, n-1]``) — the same contract as the C twin.
     """
-    _ring_row(offsets, theta, out, kind, p0, p1, vp_over_n)
+    t = _effective_threads(threads)
+    if t > 1:
+        _ring_single_par(offsets, theta, out, kind, p0, p1, vp_over_n, t)
+    else:
+        _ring_chunk(
+            offsets,
+            theta,
+            out,
+            theta.shape[0],
+            0,
+            theta.shape[0],
+            kind,
+            p0,
+            p1,
+            vp_over_n,
+        )
     return out
 
 
@@ -194,7 +489,66 @@ def ring_batched(
     p0: np.ndarray,
     p1: np.ndarray,
     vp_over_n: np.ndarray,
+    threads: int = 1,
 ) -> np.ndarray:
     """Distance-ring coupling for an ``(R, N)`` super-state (numba)."""
-    _ring_batched_impl(offsets, theta, out, kinds, p0, p1, vp_over_n)
+    t = _effective_threads(threads)
+    if t > 1:
+        _ring_batched_par(offsets, theta, out, kinds, p0, p1, vp_over_n, t)
+    else:
+        _ring_batched_impl(offsets, theta, out, kinds, p0, p1, vp_over_n)
+    return out
+
+
+def torus_single(
+    halo: tuple[int, np.ndarray, np.ndarray],
+    theta: np.ndarray,
+    out: np.ndarray,
+    kind: int,
+    p0: float,
+    p1: float,
+    vp_over_n: float,
+    threads: int = 1,
+) -> np.ndarray:
+    """2-D torus halo coupling for one ``(N,)`` state into ``out`` (numba).
+
+    ``halo`` is the ``(w, col_offsets, row_dxs)`` decomposition from
+    :func:`repro.kernels.cc.torus_halo` — the same contract as the C
+    twin.
+    """
+    w, col_offsets, row_dxs = halo
+    n = theta.shape[0]
+    t = _effective_threads(threads)
+    if t > 1:
+        _torus_single_par(
+            col_offsets, row_dxs, w, theta, out, kind, p0, p1, vp_over_n, t
+        )
+    else:
+        _torus_chunk(
+            col_offsets, row_dxs, w, theta, out, n, 0, n // w, kind, p0, p1, vp_over_n
+        )
+    return out
+
+
+def torus_batched(
+    halo: tuple[int, np.ndarray, np.ndarray],
+    theta: np.ndarray,
+    out: np.ndarray,
+    kinds: np.ndarray,
+    p0: np.ndarray,
+    p1: np.ndarray,
+    vp_over_n: np.ndarray,
+    threads: int = 1,
+) -> np.ndarray:
+    """2-D torus halo coupling for an ``(R, N)`` super-state (numba)."""
+    w, col_offsets, row_dxs = halo
+    t = _effective_threads(threads)
+    if t > 1:
+        _torus_batched_par(
+            col_offsets, row_dxs, w, theta, out, kinds, p0, p1, vp_over_n, t
+        )
+    else:
+        _torus_batched_impl(
+            col_offsets, row_dxs, w, theta, out, kinds, p0, p1, vp_over_n
+        )
     return out

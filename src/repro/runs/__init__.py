@@ -40,6 +40,7 @@ Quickstart
 
 from .cache import NUMERICS_VERSION, ResultCache, shard_key
 from .executor import (
+    TRANSPORTS,
     MemberResult,
     RunResult,
     execute_shard,
@@ -67,6 +68,7 @@ __all__ = [
     "RunResult",
     "ScenarioSpec",
     "Shard",
+    "TRANSPORTS",
     "compile_plan",
     "execute_shard",
     "initial_from_spec",

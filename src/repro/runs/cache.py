@@ -35,7 +35,7 @@ __all__ = ["NUMERICS_VERSION", "ResultCache", "shard_key"]
 #: bump when a change alters the numerical results of a solve (solver
 #: arithmetic, kernel accumulation order, noise-draw order, ...) so
 #: stale cached campaigns can never masquerade as fresh ones
-NUMERICS_VERSION = "2026.07-pr4"
+NUMERICS_VERSION = "2026.08-pr5"
 
 
 def _package_version() -> str:

@@ -17,35 +17,86 @@ Runs a compiled :class:`~repro.runs.plan.Plan`:
 3. **assembly** — member results are ordered by their global member
    index, independent of shard completion order.
 
+Two executor properties make the sharding actually pay (PR 5):
+
+* **worker thread pinning** — pool workers start through an initializer
+  that pins ``OMP_NUM_THREADS`` / the BLAS thread knobs / the kernels'
+  own ``POM_NUM_THREADS`` to the per-shard ``threads`` count (default
+  1), so ``jobs x threads`` never oversubscribes the machine.  The
+  compiled kernels read ``POM_NUM_THREADS`` at call time, so the pin is
+  effective even under the fork start method.
+* **shared-memory transport** — with ``transport="shm"`` (the default)
+  a worker writes its ``(R, n_t, N)`` trajectory stack into a
+  ``multiprocessing.shared_memory`` segment named after the shard key
+  and returns only a tiny layout descriptor through the pool; the
+  parent maps the segment, copies the arrays out, and unlinks it.  That
+  replaces pickling hundreds of megabytes through the result pipe.
+  ``transport="pickle"`` keeps the plain round-trip (the
+  cross-checking/debug path).  Transport never changes the bits.
+
 ``progress`` receives one event dict per completed shard (``cached``
 True/False), which the CLI renders as a live campaign log.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
 from ..core import OscillatorTrajectory, simulate_grid
+from ..kernels import THREADS_ENV_VAR
 from .cache import ResultCache
 from .plan import Plan, compile_plan
 from .spec import MemberSpec, ScenarioSpec
 
-__all__ = ["MemberResult", "RunResult", "execute_shard", "run_plan",
-           "run_spec"]
+__all__ = ["MemberResult", "RunResult", "TRANSPORTS", "execute_shard",
+           "run_plan", "run_spec"]
+
+#: shard-result transports accepted by ``run_plan(transport=...)``
+TRANSPORTS = ("shm", "pickle")
+
+#: thread-count environment knobs pinned inside pool workers
+_PIN_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+#: shared-memory array alignment (matches the compiled kernels' scratch)
+_SHM_ALIGN = 64
 
 
-def execute_shard(payload: dict) -> dict:
+def _worker_env(threads: int | None) -> dict[str, str]:
+    """Environment pins for pool workers: ``threads`` each, default 1."""
+    t = 1 if threads is None else int(threads)
+    env = {var: str(t) for var in _PIN_ENV_VARS}
+    env[THREADS_ENV_VAR] = str(t)
+    return env
+
+
+def _init_worker(env: dict) -> None:
+    """Pool-worker initializer: apply the thread pins before any solve."""
+    os.environ.update(env)
+
+
+def execute_shard(payload: dict, threads: int | None = None) -> dict:
     """Solve one shard (top-level so worker processes can import it).
 
     Returns the arrays the cache stores: the shared time mesh ``ts``,
     the stacked member phases ``thetas (R, n_t, N)``, the global member
-    ``indices``, and the solve wall-clock.
+    ``indices``, and the solve wall-clock.  ``threads`` is the in-kernel
+    thread count (pool workers leave it ``None`` and inherit the pinned
+    ``POM_NUM_THREADS`` instead); it never changes the bits, so it stays
+    out of the payload and the cache key.
     """
     t0 = time.perf_counter()
     members = [MemberSpec.from_dict(m) for m in payload["members"]]
@@ -62,6 +113,7 @@ def execute_shard(payload: dict) -> dict:
         rtol=solver["rtol"],
         atol=solver["atol"],
         n_samples=solver.get("n_samples"),
+        threads=threads,
     )
     return {
         "ts": trajs[0].ts,
@@ -69,6 +121,123 @@ def execute_shard(payload: dict) -> dict:
         "indices": np.asarray([m.index for m in members], dtype=np.int64),
         "seconds": time.perf_counter() - t0,
     }
+
+
+def _shm_layout(arrays: dict) -> tuple[dict, int]:
+    """Aligned offsets for packing ``arrays`` into one segment."""
+    layout = {}
+    offset = 0
+    for name, arr in arrays.items():
+        offset = -(-offset // _SHM_ALIGN) * _SHM_ALIGN
+        layout[name] = {"dtype": arr.dtype.str, "shape": arr.shape,
+                        "offset": offset}
+        offset += arr.nbytes
+    return layout, max(offset, 1)
+
+
+def _unregister_shm(seg: shared_memory.SharedMemory) -> None:
+    """Detach a freshly *created* ``seg`` from the resource tracker.
+
+    The parent owns the segment lifetime (it unlinks after assembly);
+    without this, the worker-side tracker would destroy or complain
+    about segments that outlive the worker by design.
+    """
+    try:
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker registration.
+
+    Attaching never registers on Python < 3.13; newer versions grew a
+    ``track`` knob (and register by default), so pass it when accepted.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+def _execute_shard_shm(payload: dict, shm_name: str) -> dict:
+    """Pool-worker entry for the shared-memory transport.
+
+    Solves the shard, writes the result arrays into a fresh shared
+    segment ``shm_name``, and returns only the layout descriptor — the
+    parent maps the segment instead of unpickling the arrays.
+    """
+    data = execute_shard(payload)
+    arrays = {k: np.ascontiguousarray(data[k])
+              for k in ("ts", "thetas", "indices")}
+    layout, size = _shm_layout(arrays)
+    t0 = time.perf_counter()
+    try:
+        seg = shared_memory.SharedMemory(name=shm_name, create=True,
+                                         size=size)
+    except FileExistsError:
+        # Stale segment from a killed earlier run with the same name:
+        # reclaim it.
+        stale = _attach_shm(shm_name)
+        stale.close()
+        stale.unlink()
+        seg = shared_memory.SharedMemory(name=shm_name, create=True,
+                                         size=size)
+    try:
+        for k, arr in arrays.items():
+            spec = layout[k]
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf,
+                             offset=spec["offset"])
+            dst[...] = arr
+    finally:
+        _unregister_shm(seg)
+        seg.close()
+    return {
+        "shm": shm_name,
+        "layout": layout,
+        "seconds": data["seconds"],
+        "write_s": time.perf_counter() - t0,
+        "worker_omp": os.environ.get("OMP_NUM_THREADS"),
+    }
+
+
+def _collect_shm(meta: dict) -> dict:
+    """Parent side of the shared-memory transport: map, copy, unlink."""
+    t0 = time.perf_counter()
+    seg = _attach_shm(meta["shm"])
+    try:
+        data = {}
+        for k, spec in meta["layout"].items():
+            src = np.ndarray(tuple(spec["shape"]),
+                             dtype=np.dtype(spec["dtype"]),
+                             buffer=seg.buf, offset=spec["offset"])
+            # Own copy — the segment is unlinked below.
+            data[k] = np.array(src)
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+    data["seconds"] = meta["seconds"]
+    data["transport_s"] = (meta.get("write_s", 0.0)
+                           + (time.perf_counter() - t0))
+    data["worker_omp"] = meta.get("worker_omp")
+    return data
+
+
+def _cleanup_shm(names) -> None:
+    """Best-effort unlink of leftover segments after a failed run."""
+    for name in names:
+        try:
+            seg = _attach_shm(name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
 
 
 @dataclass
@@ -121,6 +290,18 @@ class RunResult:
         replay the acceptance tests assert.
     wall_s:
         End-to-end wall-clock of :func:`run_plan`.
+    solve_s:
+        Summed in-worker solve time of the executed shards.
+    transport_s:
+        Summed measured result-transport time (shared-memory write +
+        map/copy); 0 for the inline and pickle paths, where the
+        transport cost hides in ``wall_s - solve_s``.
+    transport:
+        The transport that moved executed shard results across the pool
+        (``"shm"`` | ``"pickle"``), or ``None`` when no pool ran.
+    worker_omp:
+        ``OMP_NUM_THREADS`` as reported from inside a pool worker (the
+        pinning witness asserted by CI), or ``None`` when no pool ran.
     """
 
     spec: ScenarioSpec
@@ -130,6 +311,9 @@ class RunResult:
     n_cached: int = 0
     wall_s: float = 0.0
     solve_s: float = 0.0
+    transport_s: float = 0.0
+    transport: str | None = None
+    worker_omp: str | None = None
 
     def __len__(self) -> int:
         return len(self.members)
@@ -196,6 +380,8 @@ def run_plan(plan: Plan, *,
              jobs: int = 1,
              cache: ResultCache | str | Path | None = None,
              resume: bool = True,
+             threads: int | None = None,
+             transport: str = "shm",
              progress: Callable[[dict], None] | None = None) -> RunResult:
     """Execute a compiled plan; see the module docstring for semantics.
 
@@ -212,11 +398,24 @@ def run_plan(plan: Plan, *,
         Reuse cached shard solves.  ``False`` recomputes everything
         (and overwrites the stored artefacts): the escape hatch for a
         cache poisoned by an unversioned numerics change.
+    threads:
+        In-kernel thread count per shard solve.  ``None`` pins pool
+        workers to 1 thread each (``jobs x threads`` never
+        oversubscribes) and lets the inline path resolve
+        ``POM_NUM_THREADS``.  Never affects results or cache keys.
+    transport:
+        How executed shard results cross the pool: ``"shm"`` (default,
+        shared-memory segments) or ``"pickle"`` (the plain round-trip).
+        Bit-identical by construction.
     progress:
         Callback receiving one event dict per completed shard.
     """
     if jobs < 1:
         raise ValueError("jobs must be positive")
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; available: "
+            f"{', '.join(TRANSPORTS)}")
     if cache is not None and not isinstance(cache, ResultCache):
         cache = ResultCache(cache)
 
@@ -251,10 +450,12 @@ def run_plan(plan: Plan, *,
             done += 1
             _notify(shard, outcomes[shard.index].data, True)
 
+    transport_used: str | None = None
+    worker_omp: str | None = None
     if pending:
         if jobs == 1 or len(pending) == 1:
             for shard in pending:
-                data = execute_shard(shard.payload)
+                data = execute_shard(shard.payload, threads=threads)
                 if cache is not None:
                     cache.save(shard.key, data)
                 outcomes[shard.index] = _ShardOutcome(data=data,
@@ -262,35 +463,63 @@ def run_plan(plan: Plan, *,
                 done += 1
                 _notify(shard, data, False)
         else:
-            with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(pending))) as pool:
-                futures = {pool.submit(execute_shard, s.payload): s
-                           for s in pending}
-                remaining = set(futures)
-                while remaining:
-                    finished, remaining = wait(remaining,
-                                               return_when=FIRST_COMPLETED)
-                    for fut in finished:
-                        shard = futures[fut]
-                        data = fut.result()
-                        # Persist immediately: a kill after this point
-                        # loses at most the in-flight shards.
-                        if cache is not None:
-                            cache.save(shard.key, data)
-                        outcomes[shard.index] = _ShardOutcome(
-                            data=data, cached=False)
-                        done += 1
-                        _notify(shard, data, False)
+            transport_used = transport
+            shm_names = {}
+            if transport == "shm":
+                shm_names = {
+                    s.index: f"pom-{os.getpid()}-{s.index}-{s.key[:8]}"
+                    for s in pending
+                }
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(jobs, len(pending)),
+                        initializer=_init_worker,
+                        initargs=(_worker_env(threads),)) as pool:
+                    if transport == "shm":
+                        futures = {
+                            pool.submit(_execute_shard_shm, s.payload,
+                                        shm_names[s.index]): s
+                            for s in pending
+                        }
+                    else:
+                        futures = {pool.submit(execute_shard, s.payload): s
+                                   for s in pending}
+                    remaining = set(futures)
+                    while remaining:
+                        finished, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED)
+                        for fut in finished:
+                            shard = futures[fut]
+                            if transport == "shm":
+                                data = _collect_shm(fut.result())
+                                shm_names.pop(shard.index, None)
+                                worker_omp = data.get("worker_omp")
+                            else:
+                                data = fut.result()
+                            # Persist immediately: a kill after this point
+                            # loses at most the in-flight shards.
+                            if cache is not None:
+                                cache.save(shard.key, data)
+                            outcomes[shard.index] = _ShardOutcome(
+                                data=data, cached=False)
+                            done += 1
+                            _notify(shard, data, False)
+            finally:
+                # Uncollected segments (a worker crash, a parent
+                # exception mid-assembly) must not outlive the run.
+                _cleanup_shm(shm_names.values())
 
     # Assembly: member order is the expansion order, never completion
     # order — the bit-for-bit anchor across jobs= settings.  Members are
     # rebuilt from the shard payloads (no second grid expansion).
     results: list[MemberResult] = []
     solve_s = 0.0
+    transport_s = 0.0
     for shard in plan.shards:
         out = outcomes[shard.index]
         if not out.cached:
             solve_s += float(out.data.get("seconds", 0.0))
+            transport_s += float(out.data.get("transport_s", 0.0))
         ts = out.data["ts"]
         thetas = out.data["thetas"]
         members_by_index = {m["index"]: MemberSpec.from_dict(m)
@@ -308,6 +537,9 @@ def run_plan(plan: Plan, *,
         n_cached=total - len(pending),
         wall_s=time.perf_counter() - t0,
         solve_s=solve_s,
+        transport_s=transport_s,
+        transport=transport_used,
+        worker_omp=worker_omp,
     )
 
 
@@ -316,8 +548,11 @@ def run_spec(spec: ScenarioSpec, *,
              shard_members: int | None = None,
              cache: ResultCache | str | Path | None = None,
              resume: bool = True,
+             threads: int | None = None,
+             transport: str = "shm",
              progress: Callable[[dict], None] | None = None) -> RunResult:
     """Compile and execute a scenario in one call (the common entry)."""
     plan = compile_plan(spec, shard_members=shard_members)
     return run_plan(plan, jobs=jobs, cache=cache, resume=resume,
+                    threads=threads, transport=transport,
                     progress=progress)

@@ -123,6 +123,77 @@ class TestGate:
                 ["--pair", base, base, "--tolerance", "1.5"])
 
 
+FLOORED = {
+    "benchmark": "runs",
+    "quick": True,
+    "platform": {"cpu_count": 8},
+    "sharded_sweep": {"speedup_jobs4_vs_jobs1": 1.6},
+}
+
+
+class TestHardFloors:
+    def test_parse_floor(self):
+        assert check_regression.parse_floor("a.b:1.5") == ("a.b", 1.5, None)
+        assert check_regression.parse_floor("a.b:1.5:4") == ("a.b", 1.5, 4)
+        for bad in ("a.b", "a.b:x", "a.b:1:y", "a:1:2:3"):
+            with pytest.raises(ValueError):
+                check_regression.parse_floor(bad)
+
+    def test_floor_met_passes(self, tmp_path):
+        base = _write(tmp_path, "b.json", FLOORED)
+        cur = _write(tmp_path, "c.json", FLOORED)
+        assert check_regression.main(
+            ["--pair", base, cur,
+             "--floor", "sharded_sweep.speedup_jobs4_vs_jobs1:1.0:4"]) == 0
+
+    def test_floor_violation_fails(self, tmp_path, capsys):
+        current = json.loads(json.dumps(FLOORED))
+        current["sharded_sweep"]["speedup_jobs4_vs_jobs1"] = 0.9
+        base = _write(tmp_path, "b.json", current)
+        cur = _write(tmp_path, "c.json", current)
+        # tolerance gate passes (current == baseline); only the hard
+        # floor trips.
+        assert check_regression.main(
+            ["--pair", base, cur,
+             "--floor", "sharded_sweep.speedup_jobs4_vs_jobs1:1.0:4"]) == 1
+        assert "below the hard floor" in capsys.readouterr().err
+
+    def test_floor_skipped_below_min_cpus(self, tmp_path, capsys):
+        current = json.loads(json.dumps(FLOORED))
+        current["platform"]["cpu_count"] = 1
+        current["sharded_sweep"]["speedup_jobs4_vs_jobs1"] = 0.8
+        base = _write(tmp_path, "b.json", current)
+        cur = _write(tmp_path, "c.json", current)
+        assert check_regression.main(
+            ["--pair", base, cur,
+             "--floor", "sharded_sweep.speedup_jobs4_vs_jobs1:1.0:4"]) == 0
+        assert "SKIPPED" in capsys.readouterr().out
+
+    def test_floor_without_min_cpus_always_applies(self, tmp_path):
+        current = json.loads(json.dumps(FLOORED))
+        current["platform"]["cpu_count"] = 1
+        current["sharded_sweep"]["speedup_jobs4_vs_jobs1"] = 0.8
+        base = _write(tmp_path, "b.json", current)
+        cur = _write(tmp_path, "c.json", current)
+        assert check_regression.main(
+            ["--pair", base, cur,
+             "--floor", "sharded_sweep.speedup_jobs4_vs_jobs1:1.0"]) == 1
+
+    def test_missing_floor_key_fails(self, tmp_path, capsys):
+        base = _write(tmp_path, "b.json", FLOORED)
+        cur = _write(tmp_path, "c.json", FLOORED)
+        assert check_regression.main(
+            ["--pair", base, cur, "--floor", "nope.key:1.0"]) == 1
+        assert "missing from every current artefact" in \
+            capsys.readouterr().err
+
+    def test_bad_floor_arg_rejected(self, tmp_path):
+        base = _write(tmp_path, "b.json", FLOORED)
+        with pytest.raises(SystemExit):
+            check_regression.main(
+                ["--pair", base, base, "--floor", "no-minimum"])
+
+
 class TestFailureDiagnostics:
     def test_failure_names_baseline_and_refresh_command(self, tmp_path,
                                                         capsys):

@@ -400,9 +400,9 @@ class TestEndToEnd:
         captured = {}
         orig = sim_mod.make_batched_backend
 
-        def spy(members, name="auto", kernel="auto"):
+        def spy(members, name="auto", kernel="auto", threads=None):
             captured["kernel"] = kernel
-            return orig(members, name, kernel=kernel)
+            return orig(members, name, kernel=kernel, threads=threads)
 
         monkeypatch.setattr(sim_mod, "make_batched_backend", spy)
         topo = ring(24)
