@@ -43,7 +43,8 @@ from statistics import median
 
 import numpy as np
 
-from repro.runs import ScenarioSpec, ResultCache, compile_plan, run_plan
+from repro.runs import (ScenarioSpec, ResultCache, compile_plan, run_plan,
+                        run_plan_queue)
 
 
 def _time(fn, repeats: int) -> float:
@@ -176,6 +177,50 @@ def bench_kernel_threads(n: int, iters: int, repeats: int,
     return out
 
 
+def bench_queue_overhead(spec: ScenarioSpec, shard_members: int,
+                         jobs: int, repeats: int) -> dict:
+    """Durable-queue execution vs the plain process pool.
+
+    Times a cold campaign through :func:`run_plan_queue` (SQLite queue,
+    leases, heartbeats, spawned workers, result verification) against
+    the same campaign on the plain ``ProcessPoolExecutor`` path, after
+    asserting the two are bit-identical.  The gated ratio is the
+    queue's *relative* cost — its crash-safety tax — which must not
+    silently blow up as the queue grows features.
+    """
+    plan = compile_plan(spec, shard_members=shard_members)
+
+    with tempfile.TemporaryDirectory(prefix="pom-bench-queue-") as d:
+        rq = run_plan_queue(plan, os.path.join(d, "check", "q.db"),
+                            jobs=jobs)
+    rp = run_plan(plan, jobs=jobs)
+    max_diff = max(
+        float(np.abs(a.thetas - b.thetas).max())
+        for a, b in zip(rp.members, rq.members)
+    )
+    if max_diff != 0.0:
+        raise AssertionError(
+            f"queue and pool runs disagree (max |diff| {max_diff:g})")
+
+    pool_s = _time(lambda: run_plan(plan, jobs=jobs), repeats)
+
+    def cold_queue():
+        # a fresh queue+cache per sample: cold coordination, no resume
+        with tempfile.TemporaryDirectory(prefix="pom-bench-queue-") as d:
+            run_plan_queue(plan, os.path.join(d, "q.db"), jobs=jobs)
+
+    queue_s = _time(cold_queue, repeats)
+    return {
+        "members": plan.n_members,
+        "shards": plan.n_shards,
+        "jobs": jobs,
+        "pool_s": pool_s,
+        "queue_s": queue_s,
+        "speedup_queue_vs_pool": pool_s / queue_s,
+        "max_abs_diff_vs_pool": max_diff,
+    }
+
+
 def bench_cache_replay(spec: ScenarioSpec, shard_members: int,
                        repeats: int) -> dict:
     """Cold solve-and-store vs warm pure-cache-hit replay."""
@@ -244,6 +289,8 @@ def main(argv: list[str] | None = None) -> int:
         },
         "sharded_sweep": bench_sharded_jobs(spec, shard_members, args.jobs,
                                             repeats),
+        "queue_overhead": bench_queue_overhead(spec, shard_members,
+                                               args.jobs, repeats),
         "cache_replay": bench_cache_replay(spec, shard_members, repeats),
         "kernel_threads": bench_kernel_threads(kernel_n, kernel_iters,
                                                max(repeats, 3),
@@ -275,6 +322,11 @@ def main(argv: list[str] | None = None) -> int:
                   f"threads=1 {kk['threads1_s']:.3f} s, threads={t} "
                   f"{kk[f'threads{t}_s']:.3f} s => "
                   f"{kk[f'speedup_threads{t}_vs_threads1']:.2f}x")
+    q = result["queue_overhead"]
+    print(f"queue overhead ({q['shards']} shards, jobs={q['jobs']}): "
+          f"pool {q['pool_s']:.2f} s, queue {q['queue_s']:.2f} s "
+          f"=> {q['speedup_queue_vs_pool']:.2f}x "
+          f"(max |diff|: {q['max_abs_diff_vs_pool']:g})")
     c = result["cache_replay"]
     print(f"cache replay: cold {c['cold_solve_s']:.2f} s, warm "
           f"{c['warm_replay_s']:.4f} s "

@@ -7,10 +7,20 @@ Subcommands
 ``pom run <experiment|spec.json> [--out DIR] [--jobs N] [--cache DIR]``
     Regenerate one paper artefact, or execute a declarative scenario
     spec through the run orchestration layer (sharded across ``--jobs``
-    processes, cached/resumable under ``--cache``).
+    processes, cached/resumable under ``--cache``).  With ``--queue
+    PATH`` the campaign runs through the durable work queue: shards
+    become leased messages, worker deaths are reaped/retried, and any
+    number of extra ``pom worker`` processes (or hosts sharing the
+    filesystem) can help drain it.
 ``pom plan <experiment|spec.json>``
     Compile a scenario into its shard decomposition and show it
     (with per-shard cache state when ``--cache`` is given).
+``pom worker <queue.db> [--cache DIR] [--lease-ttl S]``
+    Drain shards from a durable campaign queue until it is empty —
+    start as many of these as you have cores/hosts.
+``pom queue <queue.db> [--requeue-quarantined]``
+    Inspect a campaign queue: state counts, retried shards, and
+    quarantined shards with their captured tracebacks.
 ``pom model ...``
     Free-form oscillator-model run with ASCII output — the scriptable
     replacement for the paper's MATLAB GUI.
@@ -47,6 +57,26 @@ from .simulator import (
 from .viz.ascii import circle_diagram, heatmap, timeline
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_queue_knobs(parser: argparse.ArgumentParser) -> None:
+    """Lease/retry knobs shared by ``pom run --queue`` and ``pom worker``."""
+    parser.add_argument("--lease-ttl", type=float, default=30.0,
+                        metavar="S",
+                        help="shard lease duration; a worker silent this "
+                             "long loses the shard to the reaper "
+                             "(default 30)")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="S",
+                        help="heartbeat interval while solving "
+                             "(default: lease-ttl / 3)")
+    parser.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                        help="base retry delay; attempt k waits "
+                             "backoff * 2^(k-1) (default 0.5)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-shard solve timeout: past it the "
+                             "worker lets its lease lapse so the shard "
+                             "is retried elsewhere (default: none)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +129,40 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--quick", action="store_true",
                        help="reduced-size smoke configuration (the "
                             "registry entry's quick_kwargs)")
+    run_p.add_argument("--queue", default=None, metavar="DB",
+                       help="execute through a durable SQLite work queue "
+                            "at this path: leased shards, heartbeats, "
+                            "retry on worker loss; extra `pom worker` "
+                            "processes may drain the same queue")
+    run_p.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per shard before quarantine "
+                            "(queue mode; default 3)")
+    _add_queue_knobs(run_p)
+
+    worker_p = sub.add_parser("worker", help="drain shards from a durable "
+                                             "campaign queue")
+    worker_p.add_argument("queue", help="queue database (`pom run --queue` "
+                                        "path)")
+    worker_p.add_argument("--cache", default=None, metavar="DIR",
+                          help="shared result cache (default: "
+                               "<queue>.cache, the orchestrator's "
+                               "default)")
+    worker_p.add_argument("--name", default=None,
+                          help="worker id recorded on claimed shards "
+                               "(default: host-pid)")
+    worker_p.add_argument("--max-shards", type=int, default=None,
+                          help="exit after completing this many shards "
+                               "(default: run until the queue drains)")
+    worker_p.add_argument("--threads", type=int, default=None,
+                          help="in-kernel threads per solve (default 1)")
+    _add_queue_knobs(worker_p)
+
+    queue_p = sub.add_parser("queue", help="inspect a campaign queue "
+                                           "(states, retries, quarantine)")
+    queue_p.add_argument("queue", help="queue database path")
+    queue_p.add_argument("--requeue-quarantined", action="store_true",
+                         help="give quarantined shards a fresh set of "
+                              "attempts")
 
     plan_p = sub.add_parser("plan", help="compile a scenario spec and show "
                                          "its shard decomposition")
@@ -210,19 +274,22 @@ def _print_shard_progress(event: dict) -> None:
     # event["done"] is the completion counter — with --jobs N shards
     # finish out of order, so the shard id is reported separately.
     state = "cache hit" if event["cached"] else f"{event['seconds']:.2f}s"
+    retried = ""
+    if event.get("attempts", 1) > 1:
+        retried = f"  [retried: attempt {event['attempts']}]"
     print(f"  [{event['done']}/{event['total']}] shard {event['shard']} "
-          f"({event['members']} members): {state}")
+          f"({event['members']} members): {state}{retried}")
 
 
 def _run_spec_file(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .runs import compile_plan, run_plan
+    from .runs import compile_plan, run_plan, run_plan_queue
     from .viz.export import write_csv
 
     if args.looped:
         print("(--looped has no effect on spec-file campaigns)")
-    if args.quick:
+    if args.quick and _looks_like_spec_file(args.experiment):
         print("(--quick has no effect on spec-file campaigns — size the "
               "spec itself)")
     spec = _resolve_spec(args.experiment, quick=args.quick)
@@ -230,15 +297,30 @@ def _run_spec_file(args: argparse.Namespace) -> int:
     plan = compile_plan(spec, shard_members=args.shard_members)
     print(f"[{spec.name}] {plan.n_members} members in {plan.n_shards} "
           f"shard(s), spec {spec.content_hash()[:16]}")
-    result = run_plan(plan, jobs=args.jobs, cache=args.cache,
-                      resume=args.resume, threads=args.threads,
-                      progress=_print_shard_progress)
+    if args.queue:
+        result = run_plan_queue(
+            plan, args.queue, jobs=args.jobs, cache=args.cache,
+            resume=args.resume, threads=args.threads,
+            lease_ttl=args.lease_ttl, heartbeat_every=args.heartbeat,
+            max_attempts=args.max_attempts, backoff=args.backoff,
+            timeout=args.timeout, progress=_print_shard_progress)
+    else:
+        result = run_plan(plan, jobs=args.jobs, cache=args.cache,
+                          resume=args.resume, threads=args.threads,
+                          progress=_print_shard_progress)
     if result.transport is not None:
         # The pinning witness CI greps for: workers run 1 thread each
         # unless --threads raises it explicitly.
         print(f"workers: {args.jobs} x OMP_NUM_THREADS="
               f"{result.worker_omp or (args.threads or 1)}, "
               f"transport={result.transport}")
+    if result.queue is not None:
+        q = result.queue
+        retried = q.get("retried") or {}
+        print(f"queue {q['path']}: {q['workers']} worker(s) "
+              f"({q['spawned']} spawned), {len(retried)} shard(s) retried")
+        for shard, attempts in sorted(retried.items()):
+            print(f"  shard {shard}: recovered after {attempts} attempts")
     print(f"done: {result.n_executed} shard(s) solved, "
           f"{result.n_cached} from cache, {result.wall_s:.2f}s")
     if args.out:
@@ -255,7 +337,10 @@ def _run_spec_file(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     import inspect
 
-    if _looks_like_spec_file(args.experiment):
+    if _looks_like_spec_file(args.experiment) or args.queue:
+        # --queue routes registry experiments through their declarative
+        # spec (required for durable execution); _resolve_spec rejects
+        # entries that have none.
         return _run_spec_file(args)
 
     exp = get_experiment(args.experiment)
@@ -290,6 +375,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(result)
     if args.out:
         print(f"CSV written to {args.out}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
+
+    from .runs import ResultCache, WorkQueue, drain_queue
+    from .runs.queue import default_queue_sibling
+
+    queue = WorkQueue(args.queue, backoff=args.backoff)
+    cache_root = args.cache or default_queue_sibling(args.queue, "cache")
+    cache = ResultCache(cache_root)
+    name = args.name or f"{os.uname().nodename}-{os.getpid()}"
+    # Same pinning contract as pool workers: one in-kernel thread
+    # unless raised explicitly.
+    from .runs.executor import _worker_env
+
+    os.environ.update(_worker_env(args.threads))
+
+    def _progress(event: dict) -> None:
+        print(f"  shard {event['shard']} attempt {event['attempt']}: "
+              f"{event['outcome']} ({event['seconds']:.2f}s)")
+
+    print(f"worker {name} draining {queue.path} (cache {cache.root}, "
+          f"lease {args.lease_ttl:g}s)")
+    stats = drain_queue(queue, cache, worker=name,
+                        lease_ttl=args.lease_ttl,
+                        heartbeat_every=args.heartbeat,
+                        timeout=args.timeout,
+                        max_shards=args.max_shards,
+                        progress=_progress)
+    print(f"drained: {stats['solved']} solved, {stats['cache_hits']} cache "
+          f"hits, {stats['failed']} failed, {stats['fenced']} fenced, "
+          f"{stats['quarantined']} quarantined")
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from .runs import WorkQueue
+
+    queue = WorkQueue(args.queue)
+    if args.requeue_quarantined:
+        n = queue.requeue_quarantined()
+        print(f"requeued {n} quarantined shard(s)")
+    info = queue.describe()
+    counts = info["counts"]
+    print(f"queue {info['path']} (spec {str(info['spec_hash'])[:16]}):")
+    print("  " + "  ".join(f"{state}={counts[state]}"
+                           for state in ("pending", "leased", "done",
+                                         "quarantined")))
+    for shard, attempts in sorted((info["retried"] or {}).items()):
+        print(f"  shard {shard}: done after {attempts} attempts (retried)")
+    for q in info["quarantined"]:
+        print(f"  shard {q['shard']}: QUARANTINED after {q['attempts']} "
+              "attempt(s)")
+        for line in (q["error"] or "").rstrip().splitlines():
+            print(f"    | {line}")
     return 0
 
 
@@ -410,6 +552,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "queue":
+        return _cmd_queue(args)
     if args.command == "model":
         return _cmd_model(args)
     if args.command == "trace":

@@ -43,11 +43,16 @@ from .executor import (
     TRANSPORTS,
     MemberResult,
     RunResult,
+    drain_queue,
     execute_shard,
+    reclaim_stale_segments,
     run_plan,
+    run_plan_queue,
     run_spec,
 )
+from .faults import FaultInjector, InjectedFault, injector_from_env, parse_faults
 from .plan import Plan, Shard, compile_plan
+from .queue import Lease, QueueRow, WorkQueue
 from .spec import (
     MemberSpec,
     ScenarioSpec,
@@ -60,21 +65,31 @@ from .store import ArtifactStore
 
 __all__ = [
     "ArtifactStore",
+    "FaultInjector",
+    "InjectedFault",
+    "Lease",
     "MemberResult",
     "MemberSpec",
     "NUMERICS_VERSION",
     "Plan",
+    "QueueRow",
     "ResultCache",
     "RunResult",
     "ScenarioSpec",
     "Shard",
     "TRANSPORTS",
+    "WorkQueue",
     "compile_plan",
+    "drain_queue",
     "execute_shard",
     "initial_from_spec",
+    "injector_from_env",
     "model_from_spec",
+    "parse_faults",
     "potential_from_spec",
+    "reclaim_stale_segments",
     "run_plan",
+    "run_plan_queue",
     "run_spec",
     "shard_key",
     "topology_from_spec",

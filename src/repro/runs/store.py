@@ -7,18 +7,48 @@ hex content hash computed by the caller.  Writes are atomic (temp file
 corrupt artifact — the next run simply recomputes the missing shard.
 Concurrent writers of the same key converge on identical bytes (keys
 are content addresses), so last-write-wins is safe.
+
+Every blob carries an **integrity sidecar** (``<key><ext>.sha256``):
+the hex digest of its bytes, written in the same atomic step ordering
+(sidecar first, blob last, so a kill between the two leaves a blob-less
+sidecar, never an unverifiable blob).  Reads verify the digest when the
+sidecar is present; a mismatch — a truncated or bit-flipped entry from
+a kill or disk fault — is treated as a *miss* with a one-time warning
+rather than poisoning a campaign replay.  Blobs written by older
+versions (no sidecar) stay readable.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Iterator
 
 __all__ = ["ArtifactStore"]
 
 _KEY_CHARS = set("0123456789abcdef")
+
+#: suffix of the per-blob integrity sidecar
+CHECKSUM_EXT = ".sha256"
+
+#: one warning per process — corrupt entries self-heal by recompute, so
+#: repeating the message per shard would drown a chaos run's log
+_warned_corrupt = False
+
+
+def _warn_corrupt_once(path: Path) -> None:
+    global _warned_corrupt
+    if _warned_corrupt:
+        return
+    _warned_corrupt = True
+    warnings.warn(
+        f"cache entry {path} failed its integrity check (truncated or "
+        "corrupted, e.g. by a kill mid-write); treating it as a miss and "
+        "recomputing — further corrupt entries will be dropped silently",
+        RuntimeWarning, stacklevel=3)
 
 
 class ArtifactStore:
@@ -49,17 +79,28 @@ class ArtifactStore:
         return self.path_for(key, ext).exists()
 
     def get_bytes(self, key: str, ext: str = ".npz") -> bytes | None:
-        """The blob's bytes, or ``None`` when absent."""
+        """The blob's verified bytes, or ``None`` when absent/corrupt.
+
+        A blob whose content does not match its integrity sidecar is a
+        miss (with a one-time warning): the caller recomputes and the
+        bad artifact is overwritten.  Blobs without a sidecar (written
+        before checksums existed) are returned unverified.
+        """
         path = self.path_for(key, ext)
         try:
-            return path.read_bytes()
+            data = path.read_bytes()
         except FileNotFoundError:
             return None
+        try:
+            expected = Path(str(path) + CHECKSUM_EXT).read_text().strip()
+        except FileNotFoundError:
+            return data
+        if hashlib.sha256(data).hexdigest() != expected:
+            _warn_corrupt_once(path)
+            return None
+        return data
 
-    def put_bytes(self, key: str, data: bytes, ext: str = ".npz") -> Path:
-        """Atomically persist ``data`` under ``key``."""
-        path = self.path_for(key, ext)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    def _put_atomic(self, path: Path, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -69,11 +110,29 @@ class ArtifactStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+
+    def put_bytes(self, key: str, data: bytes, ext: str = ".npz") -> Path:
+        """Atomically persist ``data`` (and its checksum) under ``key``.
+
+        The sidecar lands before the blob: every observable blob has a
+        digest to verify against, and a kill between the two steps
+        leaves only an orphan sidecar (harmless — still a miss).
+        """
+        path = self.path_for(key, ext)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        digest = hashlib.sha256(data).hexdigest()
+        self._put_atomic(Path(str(path) + CHECKSUM_EXT),
+                         (digest + "\n").encode())
+        self._put_atomic(path, data)
         return path
 
     def delete(self, key: str, ext: str = ".npz") -> bool:
-        """Remove one blob; returns whether it existed."""
+        """Remove one blob (and its sidecar); returns whether it existed."""
         path = self.path_for(key, ext)
+        try:
+            Path(str(path) + CHECKSUM_EXT).unlink()
+        except FileNotFoundError:
+            pass
         try:
             path.unlink()
             return True

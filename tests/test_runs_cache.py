@@ -1,5 +1,8 @@
 """Tests for the artifact store and cache layer (repro.runs.store/cache)."""
 
+import hashlib
+import warnings
+
 import numpy as np
 import pytest
 
@@ -38,8 +41,10 @@ class TestArtifactStore:
         other = "cd" * 32
         store.put_bytes(KEY, b"xx")
         store.put_bytes(other, b"yyy")
+        # sidecars are not keys
         assert sorted(store.keys()) == sorted([KEY, other])
-        assert store.size_bytes() == 5
+        # 5 payload bytes + two 65-byte checksum sidecars
+        assert store.size_bytes() == 5 + 2 * 65
 
     def test_malformed_key_rejected(self, tmp_path):
         store = ArtifactStore(tmp_path / "store")
@@ -53,6 +58,68 @@ class TestArtifactStore:
         store.put_bytes(KEY, b"x" * 1000)
         leftovers = [p for p in (tmp_path / "store").rglob("*.tmp")]
         assert leftovers == []
+
+
+class TestChecksums:
+    """Satellite: integrity sidecars make corrupt entries a miss."""
+
+    def _reset_warning(self):
+        from repro.runs import store as store_mod
+
+        store_mod._warned_corrupt = False
+
+    def test_sidecar_written_with_blob(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_bytes(KEY, b"payload")
+        sidecar = path.with_name(path.name + ".sha256")
+        assert sidecar.read_text().strip() == \
+            hashlib.sha256(b"payload").hexdigest()
+
+    def test_truncated_blob_is_a_miss_with_one_warning(self, tmp_path):
+        self._reset_warning()
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_bytes(KEY, b"x" * 100)
+        path.write_bytes(b"x" * 40)          # torn write
+        with pytest.warns(RuntimeWarning, match="integrity"):
+            assert store.get_bytes(KEY) is None
+        # the second corrupt read is silent (one warning per process)
+        other = "cd" * 32
+        store.put_bytes(other, b"y" * 100)
+        store.path_for(other).write_bytes(b"z" * 100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert store.get_bytes(other) is None
+
+    def test_bitflipped_blob_is_a_miss(self, tmp_path):
+        self._reset_warning()
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_bytes(KEY, b"abcdef")
+        path.write_bytes(b"abcdeX")
+        with pytest.warns(RuntimeWarning):
+            assert store.get_bytes(KEY) is None
+
+    def test_rewrite_heals_corruption(self, tmp_path):
+        self._reset_warning()
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_bytes(KEY, b"good")
+        path.write_bytes(b"bad!")
+        with pytest.warns(RuntimeWarning):
+            assert store.get_bytes(KEY) is None
+        store.put_bytes(KEY, b"good")
+        assert store.get_bytes(KEY) == b"good"
+
+    def test_legacy_blob_without_sidecar_still_reads(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"pre-checksum blob")
+        assert store.get_bytes(KEY) == b"pre-checksum blob"
+
+    def test_delete_removes_sidecar(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        path = store.put_bytes(KEY, b"x")
+        assert store.delete(KEY)
+        assert not path.with_name(path.name + ".sha256").exists()
 
 
 class TestResultCache:
