@@ -253,6 +253,55 @@ def bench_cache_replay(spec: ScenarioSpec, shard_members: int,
     }
 
 
+def bench_service_overhead(spec, shard_members: int, repeats: int) -> dict:
+    """HTTP submit+fetch of a fully cached campaign vs direct cache read.
+
+    The service's promise is that repeat queries cost a network
+    round-trip, not a solve: with every shard cached, a submit
+    short-circuits to ``done`` and a fetch streams the stored artefact.
+    This leg measures that whole HTTP round-trip against the in-process
+    equivalent (assemble from cache, encode to NPZ) — the gated ratio
+    is the service tax per fully cached query, which must not silently
+    blow up as endpoints grow features.
+    """
+    from repro.runs import collect_cached
+    from repro.service import CampaignServer, ServiceClient
+
+    plan = compile_plan(spec, shard_members=shard_members)
+    with tempfile.TemporaryDirectory(prefix="pom-bench-svc-") as d:
+        with CampaignServer(os.path.join(d, "q.db"),
+                            workers=0) as server:
+            client = ServiceClient(server.url)
+            cache = server.service.cache
+            run_plan(plan, jobs=1, cache=cache)
+
+            first = client.submit(spec, shard_members=shard_members)
+            if not first["cached"]:
+                raise AssertionError(
+                    "warmed submit was not a full cache hit")
+            # Build and store the campaign artefact once; timed fetches
+            # below stream it, exactly like repeat user queries.
+            client.result_bytes(first["id"])
+
+            def service_roundtrip():
+                out = client.submit(spec, shard_members=shard_members)
+                client.result_bytes(out["id"])
+
+            def direct_read():
+                collect_cached(plan, cache).npz_bytes()
+
+            # Round-trips are milliseconds; always take a few samples.
+            service_s = _time(service_roundtrip, max(repeats, 3))
+            direct_s = _time(direct_read, max(repeats, 3))
+    return {
+        "members": plan.n_members,
+        "shards": plan.n_shards,
+        "service_s": service_s,
+        "direct_s": direct_s,
+        "speedup_service_vs_direct": direct_s / service_s,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("--out", default="BENCH_runs.json",
@@ -292,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         "queue_overhead": bench_queue_overhead(spec, shard_members,
                                                args.jobs, repeats),
         "cache_replay": bench_cache_replay(spec, shard_members, repeats),
+        "service_overhead": bench_service_overhead(spec, shard_members,
+                                                   repeats),
         "kernel_threads": bench_kernel_threads(kernel_n, kernel_iters,
                                                max(repeats, 3),
                                                args.threads),
@@ -332,6 +383,11 @@ def main(argv: list[str] | None = None) -> int:
           f"{c['warm_replay_s']:.4f} s "
           f"=> {c['speedup_warm_replay_vs_cold']:.0f}x "
           f"({c['cache_bytes'] / 1e6:.1f} MB stored)")
+    v = result["service_overhead"]
+    print(f"service overhead (fully cached, {v['shards']} shards): "
+          f"HTTP submit+fetch {v['service_s']:.4f} s, direct cache read "
+          f"{v['direct_s']:.4f} s "
+          f"=> {v['speedup_service_vs_direct']:.2f}x")
     print(f"written: {args.out}")
     return 0
 

@@ -21,6 +21,19 @@ Subcommands
 ``pom queue <queue.db> [--requeue-quarantined]``
     Inspect a campaign queue: state counts, retried shards, and
     quarantined shards with their captured tracebacks.
+``pom serve <queue.db> [--cache DIR] [--port P] [--workers N]``
+    HTTP campaign service over the queue + cache: ``POST /v1/campaigns``
+    (spec -> content-hashed campaign id; full cache hits short-circuit,
+    misses are enqueued), ``GET /v1/campaigns/{id}`` (status),
+    ``GET /v1/campaigns/{id}/result`` (NPZ/CSV artefact), ``/v1/healthz``
+    and ``/v1/registry``.  ``--workers N`` keeps N drainer processes
+    alive while the queue has work.
+``pom submit <spec.json|experiment> --url URL [--wait]``
+    Submit a campaign to a running service; prints the campaign id.
+``pom status <id|spec.json|experiment> --url URL``
+    Campaign status by id (or by spec — the id is the spec hash).
+``pom fetch <id|spec.json|experiment> --url URL [--out PATH]``
+    Download a finished campaign's result artefact.
 ``pom model ...``
     Free-form oscillator-model run with ASCII output — the scriptable
     replacement for the paper's MATLAB GUI.
@@ -163,6 +176,82 @@ def build_parser() -> argparse.ArgumentParser:
     queue_p.add_argument("--requeue-quarantined", action="store_true",
                          help="give quarantined shards a fresh set of "
                               "attempts")
+
+    serve_p = sub.add_parser("serve", help="HTTP campaign service over a "
+                                           "durable queue + result cache")
+    serve_p.add_argument("queue", help="queue database path (shared with "
+                                       "any `pom worker` drainers)")
+    serve_p.add_argument("--cache", default=None, metavar="DIR",
+                         help="shared result cache (default: <queue>.cache)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default 8765)")
+    serve_p.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="keep N queue-drainer processes alive while "
+                              "the queue has work (default 0: rely on "
+                              "external `pom worker` processes)")
+    serve_p.add_argument("--metrics", default=None, metavar="FILE",
+                         help="JSON-lines request log (default: "
+                              "<queue>.metrics.jsonl)")
+    serve_p.add_argument("--shard-members", type=int, default=None,
+                         help="default max members per shard for submitted "
+                              "campaigns (requests may override)")
+    serve_p.add_argument("--max-attempts", type=int, default=3,
+                         help="attempts per shard before quarantine "
+                              "(default 3)")
+    serve_p.add_argument("--threads", type=int, default=None,
+                         help="in-kernel threads per spawned worker "
+                              "(default 1)")
+    _add_queue_knobs(serve_p)
+
+    def _add_client_knobs(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--url", default="http://127.0.0.1:8765",
+                            help="service base URL "
+                                 "(default http://127.0.0.1:8765)")
+
+    submit_p = sub.add_parser("submit", help="submit a campaign to a "
+                                             "running `pom serve`")
+    submit_p.add_argument("spec",
+                          help="scenario-spec .json file or a registry "
+                               "experiment with a declarative spec")
+    _add_client_knobs(submit_p)
+    submit_p.add_argument("--quick", action="store_true",
+                          help="reduced-size configuration for registry "
+                               "specs")
+    submit_p.add_argument("--shard-members", type=int, default=None,
+                          help="max members per shard")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the campaign is done")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          metavar="S",
+                          help="--wait deadline in seconds (default 600)")
+
+    status_p = sub.add_parser("status", help="campaign status from a "
+                                             "running `pom serve`")
+    status_p.add_argument("campaign",
+                          help="campaign id (spec content hash), or a spec "
+                               ".json / registry experiment to hash")
+    _add_client_knobs(status_p)
+    status_p.add_argument("--quick", action="store_true",
+                          help="reduced-size configuration for registry "
+                               "specs")
+
+    fetch_p = sub.add_parser("fetch", help="download a campaign result "
+                                           "from a running `pom serve`")
+    fetch_p.add_argument("campaign",
+                         help="campaign id (spec content hash), or a spec "
+                              ".json / registry experiment to hash")
+    _add_client_knobs(fetch_p)
+    fetch_p.add_argument("--quick", action="store_true",
+                         help="reduced-size configuration for registry "
+                              "specs")
+    fetch_p.add_argument("--out", default=".", metavar="PATH",
+                         help="output file or directory (default: current "
+                              "directory)")
+    fetch_p.add_argument("--format", default="npz", choices=["npz", "csv"],
+                         help="artefact format (default npz)")
 
     plan_p = sub.add_parser("plan", help="compile a scenario spec and show "
                                          "its shard decomposition")
@@ -413,8 +502,17 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _cmd_queue(args: argparse.Namespace) -> int:
-    from .runs import WorkQueue
+    from pathlib import Path
 
+    from .runs import WorkQueue
+    from .runs.queue import STATES
+
+    if not Path(args.queue).exists():
+        # Inspection must never create the database as a side effect —
+        # a typo'd path would otherwise leave a stray empty queue file.
+        print(f"queue {args.queue} (spec None): no such queue file")
+        print("  " + "  ".join(f"{state}=0" for state in STATES))
+        return 0
     queue = WorkQueue(args.queue)
     if args.requeue_quarantined:
         n = queue.requeue_quarantined()
@@ -432,6 +530,118 @@ def _cmd_queue(args: argparse.Namespace) -> int:
               "attempt(s)")
         for line in (q["error"] or "").rstrip().splitlines():
             print(f"    | {line}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .service import CampaignServer
+
+    worker_opts = {"lease_ttl": args.lease_ttl,
+                   "heartbeat_every": args.heartbeat,
+                   "timeout": args.timeout, "backoff": args.backoff,
+                   "threads": args.threads}
+    server = CampaignServer(args.queue, args.cache,
+                            host=args.host, port=args.port,
+                            workers=args.workers, metrics=args.metrics,
+                            shard_members=args.shard_members,
+                            max_attempts=args.max_attempts,
+                            worker_opts=worker_opts)
+    service = server.service
+    print(f"pom serve on {server.url}")
+    print(f"  queue    {service.queue_path}")
+    print(f"  cache    {service.cache.root}")
+    print(f"  metrics  {server.metrics.path}")
+    print(f"  workers  {args.workers}")
+
+    def _sigterm(signum, frame):
+        # CI (and any supervisor) stops the service with SIGTERM; route
+        # it through the KeyboardInterrupt path so workers are
+        # terminated and the socket is released instead of orphaned.
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
+def _campaign_id(arg: str, *, quick: bool = False) -> str:
+    """Resolve a CLI campaign argument to its id (the spec hash).
+
+    A hex string is already an id; anything else is a spec file or a
+    registry experiment, hashed exactly as the server hashes it — so
+    ``pom status sweep.json`` works without copying ids around.
+    """
+    candidate = arg.strip().lower()
+    if len(candidate) >= 8 and set(candidate) <= set("0123456789abcdef"):
+        return candidate
+    spec = _resolve_spec(arg, quick=quick)
+    return spec.content_hash()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    spec = _resolve_spec(args.spec, quick=args.quick)
+    spec.validate()
+    client = ServiceClient(args.url)
+    try:
+        out = client.submit(spec, shard_members=args.shard_members)
+        origin = "cache" if out["cached"] else \
+            f"queue (+{out['new_shards']} new shard(s))"
+        print(f"campaign {out['id']}")
+        print(f"  {out['members']} members in {out['shards']} shard(s) "
+              f"via {origin}; status: {out['status']}")
+        if args.wait and out["status"] != "done":
+            out = client.wait(out["id"], timeout=args.timeout)
+            print(f"  done: {out['counts']['done']}/{out['shards']} "
+                  "shard(s)")
+    except ServiceError as exc:
+        raise SystemExit(f"submit failed: {exc}") from exc
+    return 0
+
+
+def _print_campaign_status(status: dict) -> None:
+    counts = status["counts"]
+    print(f"campaign {status['id']} [{status['name']}]: "
+          f"{status['status']}")
+    print("  " + "  ".join(f"{state}={counts[state]}"
+                           for state in ("pending", "leased", "done",
+                                         "quarantined")))
+    for shard, attempts in sorted(status.get("retried", {}).items()):
+        print(f"  shard {shard}: done after {attempts} attempts (retried)")
+    for q in status.get("quarantined", []):
+        print(f"  shard {q['shard']}: QUARANTINED after {q['attempts']} "
+              "attempt(s)")
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    cid = _campaign_id(args.campaign, quick=args.quick)
+    try:
+        _print_campaign_status(ServiceClient(args.url).status(cid))
+    except ServiceError as exc:
+        raise SystemExit(f"status failed: {exc}") from exc
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    cid = _campaign_id(args.campaign, quick=args.quick)
+    try:
+        path = ServiceClient(args.url).fetch(cid, args.out,
+                                             fmt=args.format)
+    except ServiceError as exc:
+        raise SystemExit(f"fetch failed: {exc}") from exc
+    print(f"fetched campaign {cid[:16]} -> {path}")
     return 0
 
 
@@ -556,6 +766,14 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_worker(args)
     if args.command == "queue":
         return _cmd_queue(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "fetch":
+        return _cmd_fetch(args)
     if args.command == "model":
         return _cmd_model(args)
     if args.command == "trace":

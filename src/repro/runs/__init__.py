@@ -43,6 +43,7 @@ from .executor import (
     TRANSPORTS,
     MemberResult,
     RunResult,
+    collect_cached,
     drain_queue,
     execute_shard,
     reclaim_stale_segments,
@@ -79,6 +80,7 @@ __all__ = [
     "Shard",
     "TRANSPORTS",
     "WorkQueue",
+    "collect_cached",
     "compile_plan",
     "drain_queue",
     "execute_shard",

@@ -60,9 +60,9 @@ from .faults import FaultInjector, ensure_shared_state_dir, injector_from_env
 from .plan import Plan, compile_plan
 from .spec import MemberSpec, ScenarioSpec
 
-__all__ = ["MemberResult", "RunResult", "TRANSPORTS", "drain_queue",
-           "execute_shard", "reclaim_stale_segments", "run_plan",
-           "run_plan_queue", "run_spec"]
+__all__ = ["MemberResult", "RunResult", "TRANSPORTS", "collect_cached",
+           "drain_queue", "execute_shard", "reclaim_stale_segments",
+           "run_plan", "run_plan_queue", "run_spec"]
 
 #: shard-result transports accepted by ``run_plan(transport=...)``
 TRANSPORTS = ("shm", "pickle")
@@ -423,6 +423,17 @@ class RunResult:
             table["state"].append(verdict.state.value)
         return table
 
+    def _npz_arrays(self) -> dict[str, np.ndarray]:
+        """The canonical ``.npz`` payload: spec hash + per-member arrays."""
+        arrays: dict[str, np.ndarray] = {
+            "spec_hash": np.frombuffer(
+                self.spec.content_hash().encode(), dtype=np.uint8),
+        }
+        for m in self.members:
+            arrays[f"ts_{m.index}"] = m.ts
+            arrays[f"thetas_{m.index}"] = m.thetas
+        return arrays
+
     def save_npz(self, path: str | Path) -> Path:
         """Write every member's mesh and phases to one ``.npz`` file.
 
@@ -432,15 +443,23 @@ class RunResult:
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        arrays: dict[str, np.ndarray] = {
-            "spec_hash": np.frombuffer(
-                self.spec.content_hash().encode(), dtype=np.uint8),
-        }
-        for m in self.members:
-            arrays[f"ts_{m.index}"] = m.ts
-            arrays[f"thetas_{m.index}"] = m.thetas
-        np.savez(path, **arrays)
+        np.savez(path, **self._npz_arrays())
         return path
+
+    def npz_bytes(self) -> bytes:
+        """The :meth:`save_npz` artefact as in-memory bytes.
+
+        Same arrays, same names — the campaign service streams this
+        over HTTP and stores it content-addressed without touching the
+        filesystem twice.  Zip container metadata (timestamps) may
+        differ between writes; the *decoded arrays* are the identity
+        that matters, and they are bit-equal to a ``save_npz`` file.
+        """
+        import io
+
+        buf = io.BytesIO()
+        np.savez(buf, **self._npz_arrays())
+        return buf.getvalue()
 
 
 @dataclass
@@ -477,6 +496,35 @@ def _assemble_members(
                                         ts=ts, thetas=thetas[row]))
     results.sort(key=lambda m: m.index)
     return results, solve_s, transport_s
+
+
+def collect_cached(plan: Plan, cache: ResultCache) -> RunResult | None:
+    """Assemble a campaign purely from cached shard solves, or ``None``.
+
+    The zero-execution path behind the campaign service's result
+    endpoint: every shard of ``plan`` must load (checksum-verified)
+    from ``cache``.  Any missing or corrupt shard returns ``None`` —
+    the caller decides whether to enqueue, requeue, or 409.  Assembly
+    is the same member-ordered fan-out as :func:`run_plan`, so the
+    result is bit-identical to an executed campaign.
+    """
+    t0 = time.perf_counter()
+    outcomes: dict[int, _ShardOutcome] = {}
+    for shard in plan.shards:
+        data = cache.load(shard.key)
+        if data is None:
+            return None
+        outcomes[shard.index] = _ShardOutcome(data=data, cached=True)
+    results, solve_s, _ = _assemble_members(plan, outcomes)
+    return RunResult(
+        spec=plan.spec,
+        members=results,
+        n_shards=plan.n_shards,
+        n_executed=0,
+        n_cached=plan.n_shards,
+        wall_s=time.perf_counter() - t0,
+        solve_s=solve_s,
+    )
 
 
 def run_plan(plan: Plan, *,

@@ -154,6 +154,11 @@ class WorkQueue:
         Re-enqueueing an already-known shard (a resumed campaign) never
         resets its state — ``done`` shards stay done, quarantined ones
         stay quarantined.  Returns the number of *newly* added shards.
+
+        Concurrent producers of the same plan (racing service submits)
+        are serialised by ``BEGIN IMMEDIATE``, so exactly one of them
+        reports the rows as new and their counts sum to the shard
+        count.
         """
         now = time.time() if now is None else now
         rows = [(s.key, s.index,
@@ -162,6 +167,7 @@ class WorkQueue:
                  int(max_attempts), now, now)
                 for s in plan.shards]
         with self._db() as con:
+            con.execute("BEGIN IMMEDIATE")
             before = con.execute(
                 "SELECT COUNT(*) FROM shards").fetchone()[0]
             con.executemany(
@@ -172,6 +178,7 @@ class WorkQueue:
                 "INSERT OR REPLACE INTO meta (k, v) VALUES ('spec_hash', ?)",
                 (plan.spec.content_hash(),))
             after = con.execute("SELECT COUNT(*) FROM shards").fetchone()[0]
+            con.execute("COMMIT")
         return after - before
 
     def requeue(self, keys, *, now: float | None = None) -> int:

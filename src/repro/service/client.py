@@ -1,0 +1,163 @@
+"""Stdlib HTTP client for the campaign service.
+
+A thin :mod:`urllib.request` wrapper speaking the ``pom serve`` API —
+used by the ``pom submit`` / ``pom status`` / ``pom fetch`` CLI verbs,
+the test suite, and the service-overhead benchmark.  Non-2xx responses
+raise :class:`ServiceError` carrying the status code and the server's
+JSON error message, so callers never parse error bodies themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from ..runs import ScenarioSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx service response (carries the HTTP status code)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+
+
+class ServiceClient:
+    """Talk to one ``pom serve`` instance.
+
+    Parameters
+    ----------
+    url:
+        Service base URL, e.g. ``http://127.0.0.1:8765``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> tuple[int, bytes, str]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return (resp.status, resp.read(),
+                        resp.headers.get("Content-Type", ""))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw)["error"]
+            except Exception:
+                message = raw.decode(errors="replace") or str(exc)
+            raise ServiceError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.url}: "
+                                  f"{exc.reason}") from exc
+
+    def _json(self, method: str, path: str, body: dict | None = None):
+        _, data, _ = self._request(method, path, body)
+        return json.loads(data)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """``GET /v1/healthz``."""
+        return self._json("GET", "/v1/healthz")
+
+    def registry(self) -> dict:
+        """``GET /v1/registry``."""
+        return self._json("GET", "/v1/registry")
+
+    def submit(self, spec: ScenarioSpec | dict | None = None, *,
+               scenario: str | None = None, quick: bool = False,
+               kwargs: dict | None = None,
+               shard_members: int | None = None) -> dict:
+        """``POST /v1/campaigns`` — a spec (object/dict) or registry name.
+
+        Returns the campaign status dict; ``id`` is the spec content
+        hash, ``cached`` reports a submit-time full cache hit, and
+        ``new_shards`` counts the queue rows this submit created (0 for
+        a duplicate or fully cached campaign).
+        """
+        if (spec is None) == (scenario is None):
+            raise ValueError("provide exactly one of spec or scenario")
+        body: dict = {}
+        if spec is not None:
+            body["spec"] = (spec.to_dict()
+                            if isinstance(spec, ScenarioSpec) else spec)
+        else:
+            body["scenario"] = scenario
+            if quick:
+                body["quick"] = True
+            if kwargs:
+                body["kwargs"] = kwargs
+        if shard_members is not None:
+            body["shard_members"] = shard_members
+        return self._json("POST", "/v1/campaigns", body)
+
+    def status(self, campaign_id: str) -> dict:
+        """``GET /v1/campaigns/{id}``."""
+        return self._json("GET", f"/v1/campaigns/{campaign_id}")
+
+    def result_bytes(self, campaign_id: str, fmt: str = "npz") -> bytes:
+        """``GET /v1/campaigns/{id}/result`` — raw artefact bytes."""
+        _, data, _ = self._request(
+            "GET", f"/v1/campaigns/{campaign_id}/result?format={fmt}")
+        return data
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def wait(self, campaign_id: str, *, timeout: float = 120.0,
+             poll: float = 0.2) -> dict:
+        """Poll status until ``done``; raise on ``failed`` or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(campaign_id)
+            if status["status"] == "done":
+                return status
+            if status["status"] == "failed":
+                raise ServiceError(
+                    500, f"campaign {campaign_id[:16]} failed: "
+                         f"{status['quarantined']}")
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, f"campaign {campaign_id[:16]} still "
+                       f"{status['status']} after {timeout}s "
+                       f"(counts: {status['counts']})")
+            time.sleep(poll)
+
+    def fetch(self, campaign_id: str, out: str | Path, *,
+              fmt: str = "npz") -> Path:
+        """Download the result artefact to ``out``.
+
+        ``out`` is treated as a directory (file named
+        ``<id16>.<fmt>`` inside it) when it already is one or the
+        argument ends with a path separator; otherwise as the target
+        file path.
+        """
+        as_dir = str(out).endswith(("/", os.sep))
+        path = Path(out)
+        if path.is_dir() or as_dir:
+            path.mkdir(parents=True, exist_ok=True)
+            path = path / f"{campaign_id[:16]}.{fmt}"
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(self.result_bytes(campaign_id, fmt))
+        return path

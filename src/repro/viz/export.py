@@ -8,19 +8,47 @@ uniform (header comment with metadata, then a CSV table).
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["write_csv", "write_json", "write_matrix", "read_csv"]
+__all__ = ["csv_text", "write_csv", "write_json", "write_matrix",
+           "read_csv"]
 
 
 def _prepare(path: str | Path) -> Path:
     p = Path(path)
     p.parent.mkdir(parents=True, exist_ok=True)
     return p
+
+
+def csv_text(columns: Mapping[str, Sequence],
+             *, meta: Mapping | None = None) -> str:
+    """The :func:`write_csv` document as an in-memory string.
+
+    Same bytes as a :func:`write_csv` file read back: an optional
+    ``#``-comment metadata line, then the CSV table.  Used by the
+    campaign service to stream result tables without a temp file.
+    All columns must have equal length.
+    """
+    names = list(columns.keys())
+    if not names:
+        raise ValueError("need at least one column")
+    lengths = {name: len(columns[name]) for name in names}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"column lengths differ: {lengths}")
+
+    buf = io.StringIO()
+    if meta:
+        buf.write("# " + json.dumps(dict(meta)) + "\n")
+    writer = csv.writer(buf)
+    writer.writerow(names)
+    for row in zip(*(columns[name] for name in names)):
+        writer.writerow([_fmt(v) for v in row])
+    return buf.getvalue()
 
 
 def write_csv(path: str | Path, columns: Mapping[str, Sequence],
@@ -30,20 +58,8 @@ def write_csv(path: str | Path, columns: Mapping[str, Sequence],
     All columns must have equal length.
     """
     p = _prepare(path)
-    names = list(columns.keys())
-    if not names:
-        raise ValueError("need at least one column")
-    lengths = {name: len(columns[name]) for name in names}
-    if len(set(lengths.values())) != 1:
-        raise ValueError(f"column lengths differ: {lengths}")
-
     with p.open("w", newline="") as fh:
-        if meta:
-            fh.write("# " + json.dumps(dict(meta)) + "\n")
-        writer = csv.writer(fh)
-        writer.writerow(names)
-        for row in zip(*(columns[name] for name in names)):
-            writer.writerow([_fmt(v) for v in row])
+        fh.write(csv_text(columns, meta=meta))
     return p
 
 

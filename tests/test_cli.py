@@ -165,6 +165,18 @@ class TestRunSpecFile:
         assert "0 shard(s) solved, 3 from cache" in capsys.readouterr().out
 
 
+class TestQueueInspect:
+    def test_missing_queue_prints_empty_ledger(self, capsys, tmp_path):
+        """Inspection must not create the database as a side effect."""
+        path = tmp_path / "nope" / "q.db"
+        assert main(["queue", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no such queue file" in out
+        assert "pending=0" in out and "quarantined=0" in out
+        assert not path.exists()
+        assert not path.parent.exists()
+
+
 class TestRegistrySmoke:
     """Every REGISTRY entry must run end-to-end through ``pom run``.
 
