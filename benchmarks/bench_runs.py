@@ -18,6 +18,10 @@ Measures the two claims of the campaign layer (:mod:`repro.runs`):
    edge-list kernels at large N, ``threads=1`` vs ``threads=T``
    (bit-equality asserted).  Skipped with a note when the ``cc``
    toolchain or its OpenMP support is unavailable.
+4. **Streaming metrics** — a metric-only campaign
+   (``trajectories="none"``) vs the same campaign with full
+   trajectory capture: cached bytes (gated ``speedup_cache_shrink``
+   >= 20x), warm replay, and fully cached service fetch latency.
 
 The artefact records ``platform.cpu_count`` so the regression gate's
 hard floors (``check_regression.py --floor KEY:MIN[:MINCPUS]``) can
@@ -302,6 +306,100 @@ def bench_service_overhead(spec, shard_members: int, repeats: int) -> dict:
     }
 
 
+def streaming_campaign(n_ranks: int, n_seeds: int,
+                       t_end: float) -> ScenarioSpec:
+    """The streaming-metrics campaign: one declared series reduction."""
+    return ScenarioSpec(
+        name="bench-streaming",
+        model={
+            "topology": {"kind": "ring", "n": n_ranks,
+                         "distances": [1, -1]},
+            "potential": {"kind": "bottleneck", "sigma": 1.0},
+            "t_comp": 0.9,
+            "t_comm": 0.1,
+        },
+        t_end=t_end,
+        solver={"method": "rk4"},
+        initial={"kind": "normal", "std": 1e-3, "seed": 0},
+        axes=[("seed", list(range(n_seeds)))],
+        metrics=["order_parameter"],
+    )
+
+
+def bench_streaming(n_ranks: int, n_seeds: int, t_end: float,
+                    repeats: int) -> dict:
+    """Metric-only campaigns vs full-trajectory campaigns.
+
+    The tentpole claim of the streaming layer: declaring ``metrics=``
+    with ``trajectories="none"`` caches kilobyte-scale reductions
+    instead of ``(R, n_t, N)`` stacks, so **cache bytes shrink by the
+    oscillator count** (gated: ``speedup_cache_shrink`` >= 20x), warm
+    replays touch far fewer bytes, and a fully cached service fetch
+    streams a small artefact.  Bit-identity of the streamed metric
+    against the full-trajectory run is asserted before anything is
+    timed.
+    """
+    from repro.service import CampaignServer, ServiceClient
+
+    full_spec = streaming_campaign(n_ranks, n_seeds, t_end)
+    d = full_spec.to_dict()
+    d["trajectories"] = "none"
+    metric_spec = ScenarioSpec.from_dict(d)
+    full_plan = compile_plan(full_spec)
+    metric_plan = compile_plan(metric_spec)
+
+    out: dict = {"members": full_plan.n_members, "n_ranks": n_ranks,
+                 "t_end": t_end}
+    with tempfile.TemporaryDirectory(prefix="pom-bench-stream-") as dtmp:
+        full_cache = ResultCache(os.path.join(dtmp, "full"))
+        metric_cache = ResultCache(os.path.join(dtmp, "metric"))
+
+        t0 = time.perf_counter()
+        rf = run_plan(full_plan, jobs=1, cache=full_cache)
+        out["cold_full_s"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rm = run_plan(metric_plan, jobs=1, cache=metric_cache)
+        out["cold_metric_s"] = time.perf_counter() - t0
+
+        for a, b in zip(rf.members, rm.members):
+            if not np.array_equal(a.metrics["order_parameter"],
+                                  b.metrics["order_parameter"]):
+                raise AssertionError(
+                    "streamed metric differs between capture modes")
+
+        full_bytes = full_cache.store.size_bytes()
+        metric_bytes = metric_cache.store.size_bytes()
+        out["cache_bytes_full"] = full_bytes
+        out["cache_bytes_metric"] = metric_bytes
+        # The gated ratio: gate-able (speedup_ prefix) although it is a
+        # size shrink, not a time ratio.
+        out["speedup_cache_shrink"] = full_bytes / metric_bytes
+
+        out["warm_replay_full_s"] = _time(
+            lambda: run_plan(full_plan, jobs=1, cache=full_cache),
+            max(repeats, 3))
+        out["warm_replay_metric_s"] = _time(
+            lambda: run_plan(metric_plan, jobs=1, cache=metric_cache),
+            max(repeats, 3))
+
+        with CampaignServer(os.path.join(dtmp, "q.db"),
+                            workers=0) as server:
+            client = ServiceClient(server.url)
+            cache = server.service.cache
+            run_plan(full_plan, jobs=1, cache=cache)
+            run_plan(metric_plan, jobs=1, cache=cache)
+            fid = client.submit(full_spec)["id"]
+            mid = client.submit(metric_spec)["id"]
+            # store both artefacts once; timed fetches stream them
+            client.result_bytes(fid)
+            client.result_bytes(mid)
+            out["fetch_full_s"] = _time(
+                lambda: client.result_bytes(fid), max(repeats, 3))
+            out["fetch_metric_s"] = _time(
+                lambda: client.result_bytes(mid), max(repeats, 3))
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("--out", default="BENCH_runs.json",
@@ -321,10 +419,12 @@ def main(argv: list[str] | None = None) -> int:
         # the quick artefact, and at N ~ 4k the OpenMP fork/join cost
         # still rivals the row work.
         kernel_n, kernel_iters = 10_000, 50
+        stream_n, stream_seeds, stream_t_end = 128, 4, 30.0
     else:
         n_sigmas, n_seeds, n_ranks, t_end = 8, 2, 32, 120.0
         shard_members, repeats = 2, 3
         kernel_n, kernel_iters = 10_000, 200
+        stream_n, stream_seeds, stream_t_end = 256, 4, 60.0
 
     spec = campaign(n_sigmas, n_seeds, n_ranks, t_end)
     result = {
@@ -346,6 +446,8 @@ def main(argv: list[str] | None = None) -> int:
         "kernel_threads": bench_kernel_threads(kernel_n, kernel_iters,
                                                max(repeats, 3),
                                                args.threads),
+        "streaming": bench_streaming(stream_n, stream_seeds, stream_t_end,
+                                     repeats),
     }
 
     with open(args.out, "w") as fh:
@@ -388,6 +490,14 @@ def main(argv: list[str] | None = None) -> int:
           f"HTTP submit+fetch {v['service_s']:.4f} s, direct cache read "
           f"{v['direct_s']:.4f} s "
           f"=> {v['speedup_service_vs_direct']:.2f}x")
+    st = result["streaming"]
+    print(f"streaming metrics (N={st['n_ranks']}, {st['members']} members): "
+          f"cache {st['cache_bytes_full'] / 1e6:.1f} MB full vs "
+          f"{st['cache_bytes_metric'] / 1e3:.1f} kB metric-only "
+          f"=> {st['speedup_cache_shrink']:.0f}x shrink; warm replay "
+          f"{st['warm_replay_full_s']:.4f} s vs "
+          f"{st['warm_replay_metric_s']:.4f} s; service fetch "
+          f"{st['fetch_full_s']:.4f} s vs {st['fetch_metric_s']:.4f} s")
     print(f"written: {args.out}")
     return 0
 

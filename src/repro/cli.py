@@ -142,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--quick", action="store_true",
                        help="reduced-size smoke configuration (the "
                             "registry entry's quick_kwargs)")
+    run_p.add_argument("--metrics", default=None, metavar="NAMES",
+                       help="comma-separated streaming metrics to fold "
+                            "in-solve (overrides the spec's metrics=; e.g. "
+                            "order_parameter,wavefront); changes the spec "
+                            "hash and therefore the cache keys")
+    run_p.add_argument("--trajectories", default=None,
+                       metavar="MODE",
+                       help='trajectory capture override: "full", "none" '
+                            '(metric-only, kilobyte-scale cache), or '
+                            '"stride:K" (every Kth accepted step)')
     run_p.add_argument("--queue", default=None, metavar="DB",
                        help="execute through a durable SQLite work queue "
                             "at this path: leased shards, heartbeats, "
@@ -382,6 +392,18 @@ def _run_spec_file(args: argparse.Namespace) -> int:
         print("(--quick has no effect on spec-file campaigns — size the "
               "spec itself)")
     spec = _resolve_spec(args.experiment, quick=args.quick)
+    if getattr(args, "metrics", None) is not None \
+            or getattr(args, "trajectories", None) is not None:
+        from .runs import ScenarioSpec
+
+        d = spec.to_dict()
+        if args.metrics is not None:
+            d["metrics"] = [m for m in
+                            (s.strip() for s in args.metrics.split(","))
+                            if m]
+        if args.trajectories is not None:
+            d["trajectories"] = args.trajectories
+        spec = ScenarioSpec.from_dict(d)
     spec.validate()
     plan = compile_plan(spec, shard_members=args.shard_members)
     print(f"[{spec.name}] {plan.n_members} members in {plan.n_shards} "
@@ -426,10 +448,12 @@ def _run_spec_file(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     import inspect
 
-    if _looks_like_spec_file(args.experiment) or args.queue:
+    if _looks_like_spec_file(args.experiment) or args.queue \
+            or args.metrics is not None or args.trajectories is not None:
         # --queue routes registry experiments through their declarative
         # spec (required for durable execution); _resolve_spec rejects
-        # entries that have none.
+        # entries that have none.  --metrics/--trajectories likewise only
+        # exist on the spec path.
         return _run_spec_file(args)
 
     exp = get_experiment(args.experiment)

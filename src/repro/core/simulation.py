@@ -183,7 +183,8 @@ def _subset_rhs_factory(stacked: HeteroBatchedBackend):
 
 def _solve_em_stacked(stacked: HeteroBatchedBackend, amps: np.ndarray,
                       t_end: float, theta0s: np.ndarray, dt: float,
-                      seeds: Sequence[int]):
+                      seeds: Sequence[int], observer=None,
+                      record: str | int = "full"):
     """Batched Euler-Maruyama: (R, N) Wiener increments inside the solver.
 
     ``amps`` is the per-member diffusion amplitude column ``(R, 1)``;
@@ -198,7 +199,8 @@ def _solve_em_stacked(stacked: HeteroBatchedBackend, amps: np.ndarray,
 
     rngs = [np.random.default_rng(int(s)) for s in seeds]
     return solve_euler_maruyama(drift, diffusion, (0.0, t_end), theta0s,
-                                dt=dt, rng=rngs)
+                                dt=dt, rng=rngs, observer=observer,
+                                record=record)
 
 
 def _em_amplitude(model: PhysicalOscillatorModel) -> float:
@@ -212,8 +214,17 @@ def _em_amplitude(model: PhysicalOscillatorModel) -> float:
 def _solve_stacked(stacked, models: Sequence[PhysicalOscillatorModel],
                    t_end: float, theta0s: np.ndarray, method: str,
                    dt: float, rtol: float, atol: float,
-                   seeds: Sequence[int], per_member_adaptive: bool):
-    """Shared solver dispatch for the batched ensemble and grid paths."""
+                   seeds: Sequence[int], per_member_adaptive: bool,
+                   observer=None, record: str | int = "full"):
+    """Shared solver dispatch for the batched ensemble and grid paths.
+
+    ``observer``/``record`` are the streaming-metrics hooks of
+    :mod:`repro.metrics.streaming`: the observer sees the stacked
+    ``(R, N)`` state at ``t0`` and after every accepted step (on every
+    method, including the DDE path whose ``step_callback`` is occupied
+    by the history buffer), while ``record`` controls which states the
+    returned mesh retains.
+    """
     if method == "em" and stacked.has_delays:
         # Interaction delays switch to the deterministic DDE integrator,
         # which has no diffusion term — silently dropping the white
@@ -230,7 +241,8 @@ def _solve_stacked(stacked, models: Sequence[PhysicalOscillatorModel],
         def cb(t: float, y: np.ndarray) -> None:
             history.append(t, y, rhs(t, y))
 
-        return solve_rk4(rhs, (0.0, t_end), theta0s, dt=dt, step_callback=cb)
+        return solve_rk4(rhs, (0.0, t_end), theta0s, dt=dt, step_callback=cb,
+                         observer=observer, record=record)
     if method == "dopri":
         max_step = min(_noise_feature_dt(m) for m in models) / 2.0
         return solve_dopri45(
@@ -238,15 +250,18 @@ def _solve_stacked(stacked, models: Sequence[PhysicalOscillatorModel],
             rtol=rtol, atol=atol,
             max_step=max_step if np.isfinite(max_step) else np.inf,
             subset_rhs=(_subset_rhs_factory(stacked)
-                        if per_member_adaptive else None))
+                        if per_member_adaptive else None),
+            observer=observer, record=record)
     if method == "rk4":
-        return solve_rk4(stacked.make_ode_rhs(), (0.0, t_end), theta0s, dt=dt)
+        return solve_rk4(stacked.make_ode_rhs(), (0.0, t_end), theta0s, dt=dt,
+                         observer=observer, record=record)
     if method == "euler":
         return solve_euler(stacked.make_ode_rhs(), (0.0, t_end), theta0s,
-                           dt=dt)
+                           dt=dt, observer=observer, record=record)
     if method == "em":
         amps = np.array([_em_amplitude(m) for m in models])[:, None]
-        return _solve_em_stacked(stacked, amps, t_end, theta0s, dt, seeds)
+        return _solve_em_stacked(stacked, amps, t_end, theta0s, dt, seeds,
+                                 observer=observer, record=record)
     raise ValueError(f"unknown method {method!r}")
 
 
@@ -393,6 +408,8 @@ def simulate_grid(
     kernel: str | None = None,
     threads: int | None = None,
     per_member_adaptive: bool = True,
+    observer=None,
+    record: str | int = "full",
 ) -> list[OscillatorTrajectory]:
     """Integrate a parameter grid of models as one ``(R, N)`` super-state.
 
@@ -421,6 +438,15 @@ def simulate_grid(
     method, dt, rtol, atol, n_samples, kernel, threads, per_member_adaptive:
         As in :func:`simulate_batched` (``"em"`` batches too — each
         point draws its Wiener increments from its own seeded stream).
+    observer:
+        Streaming-metrics hook (e.g. a
+        :class:`repro.metrics.streaming.StreamingObserver`), called with
+        the stacked ``(R, N)`` state at ``t0`` and after every accepted
+        step.  Never changes the integration itself.
+    record:
+        Trajectory retention: ``"full"`` (default) | ``"none"`` |
+        stride ``K``.  Thinned retention is incompatible with
+        ``n_samples`` (resampling needs the full mesh).
 
     Returns
     -------
@@ -429,6 +455,8 @@ def simulate_grid(
     """
     if t_end <= 0:
         raise ValueError("t_end must be positive")
+    if n_samples is not None and record != "full":
+        raise ValueError('n_samples requires record="full"')
     models = list(models)
     if len(models) == 0:
         raise ValueError("need at least one model")
@@ -470,7 +498,8 @@ def simulate_grid(
         dt = min(default_dt(m) for m in models)
 
     sol = _solve_stacked(stacked, models, t_end, theta0s, method, dt,
-                         rtol, atol, seed_list, per_member_adaptive)
+                         rtol, atol, seed_list, per_member_adaptive,
+                         observer=observer, record=record)
     if not sol.success:
         raise RuntimeError(f"grid integration failed: {sol.message}")
     return _fan_out(sol, models, seed_list, n_samples)

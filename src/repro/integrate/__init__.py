@@ -19,9 +19,10 @@ from .dopri import solve_dopri45
 from .euler import solve_euler, solve_euler_maruyama
 from .history import HistoryBuffer
 from .rk4 import solve_rk4
-from .solution import Solution, SolverStats
+from .solution import Solution, SolverStats, record_stride
 
 __all__ = [
+    "record_stride",
     "StepController",
     "error_norm",
     "error_norm_members",

@@ -21,7 +21,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from .controller import StepController, error_norm, error_norm_members, initial_step
-from .solution import Solution, SolverStats
+from .solution import Solution, SolverStats, record_stride
 
 __all__ = ["DOPRI_C", "DOPRI_A", "DOPRI_B5", "DOPRI_B4", "solve_dopri45"]
 
@@ -186,6 +186,8 @@ def solve_dopri45(
     t_eval: Sequence[float] | np.ndarray | None = None,
     step_callback: Callable[[float, np.ndarray], None] | None = None,
     subset_rhs: Callable[[tuple[int, ...]], Callable] | None = None,
+    observer: Callable[[float, np.ndarray], None] | None = None,
+    record: str | int = "full",
 ) -> Solution:
     """Integrate ``dy/dt = f(t, y)`` from ``t_span[0]`` to ``t_span[1]``.
 
@@ -228,6 +230,15 @@ def solve_dopri45(
         (:func:`_integrate_window`), so one stiff member no longer drags
         the whole batch to its step size.  Per-member rejection counts
         are recorded in ``stats.member_rejections``.
+    observer:
+        Streaming-metrics hook, called with ``(t, y)`` at ``t0`` and
+        after every *accepted* step regardless of ``record``.
+    record:
+        Which accepted states the returned mesh retains: ``"full"`` |
+        ``"none"`` | stride ``K`` (see
+        :func:`repro.integrate.solution.record_stride`).  Thinned
+        retention disables dense output (the interpolant needs every
+        segment) and is incompatible with ``t_eval``.
 
     Returns
     -------
@@ -236,6 +247,11 @@ def solve_dopri45(
     t0, t_end = float(t_span[0]), float(t_span[1])
     if not t_end > t0:
         raise ValueError(f"need t_end > t0, got {t_span!r}")
+    stride = record_stride(record)
+    if stride is not None:
+        if t_eval is not None:
+            raise ValueError('t_eval requires record="full"')
+        dense_output = False
     y = np.asarray(y0, dtype=float).copy()
     if y.ndim < 1:
         raise ValueError("y0 must have at least one dimension")
@@ -270,6 +286,8 @@ def solve_dopri45(
     ts = [t0]
     ys = [y.copy()]
     qs: list[np.ndarray] = []
+    if observer is not None:
+        observer(t0, y)
 
     # Per-member bookkeeping for stacked (R, N) states.
     track_members = y.ndim == 2
@@ -340,8 +358,11 @@ def solve_dopri45(
             else:
                 k[0] = rhs(t, y_new)  # stage at t is stale for re-stepped rows
             y = y_new
-            ts.append(t)
-            ys.append(y.copy())
+            if stride is None or (stride and stats.n_steps % stride == 0):
+                ts.append(t)
+                ys.append(y.copy())
+            if observer is not None:
+                observer(t, y)
             if step_callback is not None:
                 step_callback(t, y)
             h = min(controller.propose(h, err, accepted=True), max_step)
@@ -349,6 +370,10 @@ def solve_dopri45(
             stats.n_rejected += 1
             h = controller.propose(h, err, accepted=False)
 
+    if stride is not None and ts[-1] != t:
+        # Thinned retention must still end on the final accepted state.
+        ts.append(t)
+        ys.append(y.copy())
     if track_members:
         stats.member_rejections = member_rej
     ts_arr = np.asarray(ts)

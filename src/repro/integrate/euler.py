@@ -18,7 +18,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .solution import Solution, SolverStats
+from .solution import Solution, SolverStats, record_stride
 
 __all__ = ["solve_euler", "solve_euler_maruyama"]
 
@@ -30,13 +30,22 @@ def solve_euler(
     *,
     dt: float,
     step_callback: Callable[[float, np.ndarray], None] | None = None,
+    observer: Callable[[float, np.ndarray], None] | None = None,
+    record: str | int = "full",
 ) -> Solution:
-    """Integrate with the explicit (forward) Euler scheme, fixed step."""
+    """Integrate with the explicit (forward) Euler scheme, fixed step.
+
+    ``observer`` is called with ``(t, y)`` at ``t0`` and after every
+    step — the streaming-metrics hook, independent of which states
+    ``record`` retains (``"full"`` | ``"none"`` | stride ``K``, see
+    :func:`repro.integrate.solution.record_stride`).
+    """
     t0, t_end = float(t_span[0]), float(t_span[1])
     if not t_end > t0:
         raise ValueError(f"need t_end > t0, got {t_span!r}")
     if dt <= 0:
         raise ValueError("dt must be positive")
+    stride = record_stride(record)
 
     y = np.asarray(y0, dtype=float).copy()
     stats = SolverStats()
@@ -45,15 +54,22 @@ def solve_euler(
 
     ts = [t0]
     ys = [y.copy()]
+    if observer is not None:
+        observer(t0, y)
     t = t0
-    for i in range(n_full + (1 if remainder > 1e-15 else 0)):
+    n_steps = n_full + (1 if remainder > 1e-15 else 0)
+    for i in range(n_steps):
         h = dt if i < n_full else remainder
         y = y + h * np.asarray(f(t, y), dtype=float)
         t = t + h
         stats.n_rhs += 1
         stats.n_steps += 1
-        ts.append(t)
-        ys.append(y.copy())
+        if stride is None or (stride and (i + 1) % stride == 0) \
+                or i == n_steps - 1:
+            ts.append(t)
+            ys.append(y.copy())
+        if observer is not None:
+            observer(t, y)
         if step_callback is not None:
             step_callback(t, y)
 
@@ -69,6 +85,8 @@ def solve_euler_maruyama(
     dt: float,
     rng: np.random.Generator | Sequence | None = None,
     step_callback: Callable[[float, np.ndarray], None] | None = None,
+    observer: Callable[[float, np.ndarray], None] | None = None,
+    record: str | int = "full",
 ) -> Solution:
     """Integrate the Itô SDE ``dy = f dt + g dW`` (diagonal noise).
 
@@ -95,6 +113,7 @@ def solve_euler_maruyama(
         raise ValueError(f"need t_end > t0, got {t_span!r}")
     if dt <= 0:
         raise ValueError("dt must be positive")
+    stride = record_stride(record)
 
     y = np.asarray(y0, dtype=float).copy()
     if isinstance(rng, (list, tuple)):
@@ -123,8 +142,11 @@ def solve_euler_maruyama(
 
     ts = [t0]
     ys = [y.copy()]
+    if observer is not None:
+        observer(t0, y)
     t = t0
-    for i in range(n_full + (1 if remainder > 1e-15 else 0)):
+    n_steps = n_full + (1 if remainder > 1e-15 else 0)
+    for i in range(n_steps):
         h = dt if i < n_full else remainder
         drift = np.asarray(f(t, y), dtype=float)
         diff = np.asarray(g(t, y), dtype=float)
@@ -133,8 +155,12 @@ def solve_euler_maruyama(
         t = t + h
         stats.n_rhs += 1
         stats.n_steps += 1
-        ts.append(t)
-        ys.append(y.copy())
+        if stride is None or (stride and (i + 1) % stride == 0) \
+                or i == n_steps - 1:
+            ts.append(t)
+            ys.append(y.copy())
+        if observer is not None:
+            observer(t, y)
         if step_callback is not None:
             step_callback(t, y)
 

@@ -12,7 +12,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from .solution import Solution, SolverStats
+from .solution import Solution, SolverStats, record_stride
 
 __all__ = ["solve_rk4"]
 
@@ -24,6 +24,8 @@ def solve_rk4(
     *,
     dt: float,
     step_callback: Callable[[float, np.ndarray], None] | None = None,
+    observer: Callable[[float, np.ndarray], None] | None = None,
+    record: str | int = "full",
 ) -> Solution:
     """Integrate ``dy/dt = f(t, y)`` with the classic RK4 scheme.
 
@@ -40,12 +42,20 @@ def solve_rk4(
         ``t_end``.
     step_callback:
         Called after each step with ``(t, y)``.
+    observer:
+        Streaming-metrics hook, called with ``(t, y)`` at ``t0`` and
+        after *every* step regardless of ``record``.
+    record:
+        Which states the returned mesh retains: ``"full"`` | ``"none"``
+        | stride ``K`` (see
+        :func:`repro.integrate.solution.record_stride`).
     """
     t0, t_end = float(t_span[0]), float(t_span[1])
     if not t_end > t0:
         raise ValueError(f"need t_end > t0, got {t_span!r}")
     if dt <= 0:
         raise ValueError("dt must be positive")
+    stride = record_stride(record)
 
     y = np.asarray(y0, dtype=float).copy()
     stats = SolverStats()
@@ -55,8 +65,11 @@ def solve_rk4(
 
     ts = [t0]
     ys = [y.copy()]
+    if observer is not None:
+        observer(t0, y)
     t = t0
-    for i in range(n_full + (1 if remainder > 1e-15 else 0)):
+    n_steps = n_full + (1 if remainder > 1e-15 else 0)
+    for i in range(n_steps):
         h = dt if i < n_full else remainder
         k1 = np.asarray(f(t, y), dtype=float)
         k2 = np.asarray(f(t + 0.5 * h, y + 0.5 * h * k1), dtype=float)
@@ -66,8 +79,12 @@ def solve_rk4(
         t = t + h
         stats.n_rhs += 4
         stats.n_steps += 1
-        ts.append(t)
-        ys.append(y.copy())
+        if stride is None or (stride and (i + 1) % stride == 0) \
+                or i == n_steps - 1:
+            ts.append(t)
+            ys.append(y.copy())
+        if observer is not None:
+            observer(t, y)
         if step_callback is not None:
             step_callback(t, y)
 

@@ -16,7 +16,28 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["SolverStats", "Solution"]
+__all__ = ["SolverStats", "Solution", "record_stride"]
+
+
+def record_stride(record) -> int | None:
+    """Normalise a solver ``record`` mode to a retention stride.
+
+    ``"full"`` returns ``None`` (keep every accepted step — the historic
+    behaviour), ``"none"`` returns ``0`` (keep only the initial and
+    final states), and an integer ``K >= 1`` keeps every K-th accepted
+    step plus the endpoints.  Thinning only affects which states are
+    *retained* in the returned mesh; the step sequence — and therefore
+    every propagated value and every streaming-observer call — is
+    bit-identical across record modes.
+    """
+    if record == "full":
+        return None
+    if record == "none":
+        return 0
+    k = int(record)
+    if k < 1:
+        raise ValueError(f"record stride must be >= 1, got {record!r}")
+    return k
 
 
 @dataclass

@@ -3,7 +3,9 @@
 * :mod:`order_parameter` — Kuramoto ``r(t)`` and circular means;
 * :mod:`phase` — spreads, adjacent gaps, co-moving/lagger views;
 * :mod:`sync` — sync/desync classification, settle times;
-* :mod:`wave` — idle-wave arrival, speed and decay fits.
+* :mod:`wave` — idle-wave arrival, speed and decay fits;
+* :mod:`streaming` — in-solve metric reductions (per accepted step)
+  for kilobyte-scale campaign caching.
 """
 
 from .energy import (
@@ -27,6 +29,14 @@ from .phase import (
     phase_spread,
     phase_spread_series,
 )
+from .streaming import (
+    METRIC_NAMES,
+    SERIES_METRICS,
+    StreamingObserver,
+    metrics_from_trajectories,
+    parse_trajectories,
+    validate_metrics,
+)
 from .sync import (
     SyncState,
     SyncVerdict,
@@ -49,6 +59,8 @@ __all__ = [
     "splay_order_parameter",
     "adjacent_gaps", "comoving", "gap_statistics", "lagger_baseline",
     "phase_spread", "phase_spread_series",
+    "METRIC_NAMES", "SERIES_METRICS", "StreamingObserver",
+    "metrics_from_trajectories", "parse_trajectories", "validate_metrics",
     "SyncState", "SyncVerdict", "classify", "fixed_point_residual",
     "settle_time",
     "WaveFit", "arrival_times", "measure_wave_speed", "paired_wave_decay",

@@ -38,7 +38,13 @@ Quickstart
 2
 """
 
-from .cache import NUMERICS_VERSION, ResultCache, shard_key
+from .cache import (
+    NUMERICS_VERSION,
+    ResultCache,
+    fingerprint_files,
+    numerics_fingerprint,
+    shard_key,
+)
 from .executor import (
     TRANSPORTS,
     MemberResult,
@@ -84,9 +90,11 @@ __all__ = [
     "compile_plan",
     "drain_queue",
     "execute_shard",
+    "fingerprint_files",
     "initial_from_spec",
     "injector_from_env",
     "model_from_spec",
+    "numerics_fingerprint",
     "parse_faults",
     "potential_from_spec",
     "reclaim_stale_segments",

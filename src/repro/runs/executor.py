@@ -55,6 +55,7 @@ import numpy as np
 
 from ..core import OscillatorTrajectory, simulate_grid
 from ..kernels import THREADS_ENV_VAR
+from ..metrics.streaming import StreamingObserver, parse_trajectories
 from .cache import ResultCache
 from .faults import FaultInjector, ensure_shared_state_dir, injector_from_env
 from .plan import Plan, compile_plan
@@ -96,12 +97,22 @@ def _init_worker(env: dict) -> None:
 def execute_shard(payload: dict, threads: int | None = None) -> dict:
     """Solve one shard (top-level so worker processes can import it).
 
-    Returns the arrays the cache stores: the shared time mesh ``ts``,
-    the stacked member phases ``thetas (R, n_t, N)``, the global member
-    ``indices``, and the solve wall-clock.  ``threads`` is the in-kernel
-    thread count (pool workers leave it ``None`` and inherit the pinned
-    ``POM_NUM_THREADS`` instead); it never changes the bits, so it stays
-    out of the payload and the cache key.
+    Returns the arrays the cache stores: the global member ``indices``
+    and the solve wall-clock, plus — depending on the payload —
+
+    * ``ts`` and the stacked member phases ``thetas (R, n_t, N)`` when
+      ``trajectories`` is ``"full"`` (default) or ``"stride:K"``
+      (thinned retention); metric-only shards
+      (``trajectories="none"``) carry **no** trajectory arrays at all,
+    * streamed metric arrays (``metrics_ts`` + ``metric_<name>``,
+      kilobyte-scale) when the payload declares ``metrics``, folded by
+      a :class:`~repro.metrics.streaming.StreamingObserver` per
+      accepted solver step over the ``(R, N)`` super-state.
+
+    ``threads`` is the in-kernel thread count (pool workers leave it
+    ``None`` and inherit the pinned ``POM_NUM_THREADS`` instead); it
+    never changes the bits, so it stays out of the payload and the
+    cache key.
     """
     t0 = time.perf_counter()
     members = [MemberSpec.from_dict(m) for m in payload["members"]]
@@ -109,6 +120,9 @@ def execute_shard(payload: dict, threads: int | None = None) -> dict:
     n = models[0].n
     theta0s = np.stack([m.build_theta0(n) for m in members])
     solver = payload["solver"]
+    metrics = tuple(payload.get("metrics") or ())
+    trajectories = payload.get("trajectories", "full")
+    observer = StreamingObserver(models, metrics) if metrics else None
     trajs = simulate_grid(
         models, payload["t_end"],
         seeds=[m.seed for m in members],
@@ -119,13 +133,19 @@ def execute_shard(payload: dict, threads: int | None = None) -> dict:
         atol=solver["atol"],
         n_samples=solver.get("n_samples"),
         threads=threads,
+        observer=observer,
+        record=parse_trajectories(trajectories),
     )
-    return {
-        "ts": trajs[0].ts,
-        "thetas": np.stack([t.thetas for t in trajs]),
+    out = {
         "indices": np.asarray([m.index for m in members], dtype=np.int64),
-        "seconds": time.perf_counter() - t0,
     }
+    if trajectories != "none":
+        out["ts"] = trajs[0].ts
+        out["thetas"] = np.stack([t.thetas for t in trajs])
+    if observer is not None:
+        out.update(observer.finalize())
+    out["seconds"] = time.perf_counter() - t0
+    return out
 
 
 def _shm_layout(arrays: dict) -> tuple[dict, int]:
@@ -184,8 +204,10 @@ def _execute_shard_shm(payload: dict, shm_name: str,
     faults = injector_from_env()
     faults.fire("shard-start", shard=index)
     data = execute_shard(payload)
-    arrays = {k: np.ascontiguousarray(data[k])
-              for k in ("ts", "thetas", "indices")}
+    # Pack whatever arrays the shard produced — trajectory stacks,
+    # streamed metric arrays, or both.
+    arrays = {k: np.ascontiguousarray(v) for k, v in data.items()
+              if isinstance(v, np.ndarray)}
     layout, size = _shm_layout(arrays)
     t0 = time.perf_counter()
     try:
@@ -308,16 +330,21 @@ def reclaim_stale_segments(shm_dir: str = "/dev/shm") -> list[str]:
 
 @dataclass
 class MemberResult:
-    """One grid point's solved trajectory plus its provenance.
+    """One grid point's solved results plus its provenance.
 
     ``trajectory()`` rebuilds the declarative model from the member's
     spec dict, so results that crossed a process boundary (or came out
-    of the cache) still carry full model metadata.
+    of the cache) still carry full model metadata.  For metric-only
+    campaigns (``trajectories="none"``) ``ts``/``thetas`` are ``None``
+    and the streamed reductions live in ``metrics`` (keyed by metric
+    name, on the ``metrics_ts`` observation mesh).
     """
 
     member: MemberSpec
-    ts: np.ndarray
-    thetas: np.ndarray
+    ts: np.ndarray | None
+    thetas: np.ndarray | None
+    metrics_ts: np.ndarray | None = None
+    metrics: dict = field(default_factory=dict)
 
     @property
     def index(self) -> int:
@@ -334,8 +361,18 @@ class MemberResult:
         """Noise-realisation seed."""
         return self.member.seed
 
+    @property
+    def has_trajectory(self) -> bool:
+        """Whether this member carries phase states (any capture mode)."""
+        return self.thetas is not None
+
     def trajectory(self) -> OscillatorTrajectory:
         """The solved phases as a full :class:`OscillatorTrajectory`."""
+        if self.thetas is None:
+            raise ValueError(
+                f"member {self.index} has no trajectory (the campaign "
+                'ran with trajectories="none"; re-run with '
+                'trajectories="full" or consume the streamed metrics)')
         return OscillatorTrajectory(ts=self.ts, thetas=self.thetas,
                                     model=self.member.build_model(),
                                     seed=self.member.seed)
@@ -396,50 +433,93 @@ class RunResult:
         return [m.trajectory() for m in self.members]
 
     def summary_table(self) -> dict:
-        """Axis columns plus standard sync metrics per member.
+        """Axis columns plus standard sync/streamed metrics per member.
 
-        Columns: one per axis path, plus ``seed``, ``final_spread``,
-        ``mean_abs_gap``, ``r_final``, and ``state`` from
-        :func:`repro.metrics.sync.classify` — the generic artefact the
-        CLI writes for spec-file campaigns.
+        Columns: one per axis path, plus ``seed``; when trajectories
+        were captured, ``final_spread``, ``mean_abs_gap``, ``r_final``,
+        and ``state`` from :func:`repro.metrics.sync.classify`; when the
+        spec declared streaming metrics, one summary column per metric
+        (``<name>_final`` for the series reductions,
+        ``wavefront_reached`` rank counts, ``phase_histogram_peak`` bin
+        indices) in declaration order.  A trajectory-mode and a
+        metric-only campaign with the same ``metrics`` therefore agree
+        bit-for-bit on the shared metric columns — the CI stream-smoke
+        invariant.
         """
+        from ..metrics.streaming import SERIES_METRICS
         from ..metrics.sync import classify
 
         # ``seed`` already has a dedicated column; don't duplicate it
         # when it is also swept as an axis.
         paths = [p for p, _ in self.spec.axes if p != "seed"]
         table: dict[str, list] = {p: [] for p in paths}
-        table.update({"seed": [], "final_spread": [], "mean_abs_gap": [],
-                      "r_final": [], "state": []})
+        table["seed"] = []
+        has_traj = all(m.thetas is not None for m in self.members)
+        if has_traj:
+            table.update({"final_spread": [], "mean_abs_gap": [],
+                          "r_final": [], "state": []})
+        metric_names = [name for name in getattr(self.spec, "metrics", ())
+                        if all(name in m.metrics for m in self.members)]
+        for name in metric_names:
+            if name in SERIES_METRICS:
+                table[f"{name}_final"] = []
+            elif name == "wavefront":
+                table["wavefront_reached"] = []
+            elif name == "phase_histogram":
+                table["phase_histogram_peak"] = []
         for m in self.members:
             for p in paths:
                 table[p].append(m.params.get(p))
-            model = m.member.build_model()
-            verdict = classify(m.ts, m.thetas, model.omega)
             table["seed"].append(m.seed)
-            table["final_spread"].append(verdict.final_spread)
-            table["mean_abs_gap"].append(verdict.mean_abs_gap)
-            table["r_final"].append(verdict.r_final)
-            table["state"].append(verdict.state.value)
+            if has_traj:
+                model = m.member.build_model()
+                verdict = classify(m.ts, m.thetas, model.omega)
+                table["final_spread"].append(verdict.final_spread)
+                table["mean_abs_gap"].append(verdict.mean_abs_gap)
+                table["r_final"].append(verdict.r_final)
+                table["state"].append(verdict.state.value)
+            for name in metric_names:
+                arr = m.metrics[name]
+                if name in SERIES_METRICS:
+                    table[f"{name}_final"].append(float(arr[-1]))
+                elif name == "wavefront":
+                    table["wavefront_reached"].append(
+                        int(np.isfinite(arr).sum()))
+                elif name == "phase_histogram":
+                    table["phase_histogram_peak"].append(
+                        int(np.argmax(arr)))
         return table
 
     def _npz_arrays(self) -> dict[str, np.ndarray]:
-        """The canonical ``.npz`` payload: spec hash + per-member arrays."""
+        """The canonical ``.npz`` payload: spec hash + per-member arrays.
+
+        Trajectory campaigns contribute ``ts_<i>`` / ``thetas_<i>``;
+        campaigns with streamed metrics contribute ``metrics_ts_<i>``
+        plus ``metric_<name>_<i>`` (meshes are per-member because
+        adaptive shards may differ); metric-only campaigns carry no
+        trajectory arrays at all.
+        """
         arrays: dict[str, np.ndarray] = {
             "spec_hash": np.frombuffer(
                 self.spec.content_hash().encode(), dtype=np.uint8),
         }
         for m in self.members:
-            arrays[f"ts_{m.index}"] = m.ts
-            arrays[f"thetas_{m.index}"] = m.thetas
+            if m.ts is not None:
+                arrays[f"ts_{m.index}"] = m.ts
+                arrays[f"thetas_{m.index}"] = m.thetas
+            if m.metrics_ts is not None:
+                arrays[f"metrics_ts_{m.index}"] = m.metrics_ts
+            for name, arr in m.metrics.items():
+                arrays[f"metric_{name}_{m.index}"] = arr
         return arrays
 
     def save_npz(self, path: str | Path) -> Path:
-        """Write every member's mesh and phases to one ``.npz`` file.
+        """Write every member's arrays to one ``.npz`` file.
 
-        Arrays are named ``ts_<index>`` / ``thetas_<index>``; the file
-        also records the spec hash, so two runs of the same campaign
-        (any ``jobs=``) produce comparable artefacts.
+        Arrays are named ``ts_<index>`` / ``thetas_<index>`` (and/or
+        ``metrics_ts_<index>`` / ``metric_<name>_<index>`` for streamed
+        metrics); the file also records the spec hash, so two runs of
+        the same campaign (any ``jobs=``) produce comparable artefacts.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -487,13 +567,22 @@ def _assemble_members(
         if not out.cached:
             solve_s += float(out.data.get("seconds", 0.0))
             transport_s += float(out.data.get("transport_s", 0.0))
-        ts = out.data["ts"]
-        thetas = out.data["thetas"]
+        ts = out.data.get("ts")
+        thetas = out.data.get("thetas")
+        metrics_ts = out.data.get("metrics_ts")
+        metric_names = [name for name in shard.payload.get("metrics", ())
+                        if f"metric_{name}" in out.data]
         members_by_index = {m["index"]: MemberSpec.from_dict(m)
                             for m in shard.payload["members"]}
         for row, gindex in enumerate(out.data["indices"].tolist()):
-            results.append(MemberResult(member=members_by_index[int(gindex)],
-                                        ts=ts, thetas=thetas[row]))
+            metrics = {name: out.data[f"metric_{name}"][row]
+                       for name in metric_names}
+            results.append(MemberResult(
+                member=members_by_index[int(gindex)],
+                ts=ts,
+                thetas=thetas[row] if thetas is not None else None,
+                metrics_ts=metrics_ts,
+                metrics=metrics))
     results.sort(key=lambda m: m.index)
     return results, solve_s, transport_s
 

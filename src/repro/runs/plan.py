@@ -32,13 +32,57 @@ what reproduces ``grid_sweep(batched=True)`` bit for bit.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import dataclass
 
 from ..core.simulation import default_dt
 from .cache import shard_key
 from .spec import FIXED_STEP_METHODS, MemberSpec, ScenarioSpec
 
-__all__ = ["Shard", "Plan", "compile_plan"]
+__all__ = ["Shard", "Plan", "compile_plan", "TRAJ_WARN_ENV_VAR"]
+
+#: env override (bytes) for the full-trajectory footprint warning;
+#: <= 0 disables it
+TRAJ_WARN_ENV_VAR = "POM_TRAJ_WARN_BYTES"
+
+_TRAJ_WARN_DEFAULT = 128 * 1024 * 1024
+
+#: spec hashes already warned about (the warning is one-time per spec
+#: per process — a campaign is typically compiled more than once)
+_footprint_warned: set[str] = set()
+
+
+def _topology_n(topo: dict) -> int:
+    """Cheap oscillator-count estimate from a topology spec dict."""
+    if "n" in topo:
+        return int(topo["n"])
+    if "nx" in topo and "ny" in topo:
+        return int(topo["nx"]) * int(topo["ny"])
+    return 0
+
+
+def _warn_footprint(spec: ScenarioSpec, est_bytes: float) -> None:
+    """One-time warning for full-trajectory campaigns that would drown
+    the cache; points at the streaming-metrics opt-out."""
+    try:
+        threshold = float(os.environ.get(TRAJ_WARN_ENV_VAR,
+                                         _TRAJ_WARN_DEFAULT))
+    except ValueError:
+        threshold = _TRAJ_WARN_DEFAULT
+    if threshold <= 0 or est_bytes <= threshold:
+        return
+    shash = spec.content_hash()
+    if shash in _footprint_warned:
+        return
+    _footprint_warned.add(shash)
+    warnings.warn(
+        f"campaign {spec.name!r} requests full trajectories with an "
+        f"estimated (R, n_t, N) footprint of ~{est_bytes / 1e6:.0f} MB; "
+        "declare metrics=[...] with trajectories=\"none\" (or thin with "
+        "trajectories=\"stride:K\") to cache kilobyte-scale reductions "
+        f"instead (threshold: {TRAJ_WARN_ENV_VAR}={threshold:.0f})",
+        RuntimeWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -52,7 +96,11 @@ class Shard:
         are assembled by member index, not shard index).
     payload:
         JSON-able solve description handed to the worker process:
-        ``{"members": [member dicts], "t_end": float, "solver": dict}``.
+        ``{"members": [member dicts], "t_end": float, "solver": dict,
+        "metrics": [names], "trajectories": mode}``.  The metric set and
+        capture mode are part of the cache key — a metric-only shard and
+        a full-trajectory shard of the same members are distinct cached
+        artefacts.
     key:
         Content-addressed cache key of the solve
         (:func:`repro.runs.cache.shard_key`).
@@ -157,6 +205,7 @@ def compile_plan(spec: ScenarioSpec, *,
         groups.setdefault(gkey, []).append(m)
 
     shards: list[Shard] = []
+    est_traj_bytes = 0.0
     for group in groups.values():
         dt = solver.get("dt")
         if dt is None:
@@ -179,13 +228,20 @@ def compile_plan(spec: ScenarioSpec, *,
             # plan` surfaces the fact and chunked solves never share a
             # cache key with unchunked ones.
             resolved["chunked_adaptive"] = True
+        if spec.trajectories == "full":
+            n_t = group[0].t_end / float(dt) + 1.0
+            n_osc = _topology_n(group[0].model.get("topology", {}))
+            est_traj_bytes += len(group) * n_t * n_osc * 8.0
         for chunk in _chunks(group, shard_members):
             payload = {
                 "members": [m.to_dict() for m in chunk],
                 "t_end": chunk[0].t_end,
                 "solver": resolved,
+                "metrics": list(spec.metrics),
+                "trajectories": spec.trajectories,
             }
             shards.append(Shard(index=len(shards), payload=payload,
                                 key=shard_key(payload)))
 
+    _warn_footprint(spec, est_traj_bytes)
     return Plan(spec=spec, shards=shards)

@@ -65,6 +65,7 @@ from ..core import (
 )
 from ..core.coupling import Protocol, WaitMode
 from ..core.topology import all_to_all, dependency_topology, grid2d
+from ..metrics.streaming import parse_trajectories, validate_metrics
 
 __all__ = [
     "ScenarioSpec",
@@ -354,6 +355,20 @@ class ScenarioSpec:
         (row-major, last axis fastest) defines the members.  Paths are
         relative to the model dict, except the special top-level paths
         ``seed`` and ``t_end``.
+    metrics:
+        Named in-solve reductions (see
+        :data:`repro.metrics.streaming.METRIC_NAMES`) computed by a
+        streaming observer per accepted step and cached as
+        kilobyte-scale arrays.  Declaration order fixes artefact column
+        order.
+    trajectories:
+        Trajectory capture mode: ``"full"`` (default — the historic
+        behaviour), ``"none"`` (metric-only campaigns; shards carry no
+        ``(R, n_t, N)`` stacks at all), or ``"stride:K"`` (every K-th
+        accepted step plus the endpoints).  Streamed metrics observe
+        every accepted step regardless of the capture mode, so a
+        trajectory-mode and a metric-only campaign declaring the same
+        ``metrics`` produce bit-identical metric arrays.
     """
 
     name: str
@@ -363,6 +378,8 @@ class ScenarioSpec:
     initial: dict | None = None
     seed: int = 0
     axes: Sequence[tuple[str, Sequence]] = ()
+    metrics: Sequence[str] = ()
+    trajectories: str = "full"
 
     def __post_init__(self) -> None:
         self.t_end = float(self.t_end)
@@ -387,6 +404,14 @@ class ScenarioSpec:
         method = self.solver.get("method", "dopri")
         if method not in ("dopri", *FIXED_STEP_METHODS):
             raise ValueError(f"unknown solver method {method!r}")
+        self.metrics = validate_metrics(self.metrics)
+        self.trajectories = str(self.trajectories)
+        parse_trajectories(self.trajectories)  # raises on bad syntax
+        if self.trajectories != "full" \
+                and self.solver.get("n_samples") is not None:
+            raise ValueError(
+                'n_samples requires trajectories="full" (resampling '
+                "needs the full solver mesh)")
 
     # ------------------------------------------------------------------
     @property
@@ -453,12 +478,14 @@ class ScenarioSpec:
             "initial": self.initial,
             "seed": self.seed,
             "axes": [[p, list(v)] for p, v in self.axes],
+            "metrics": list(self.metrics),
+            "trajectories": self.trajectories,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "ScenarioSpec":
         known = {"name", "model", "t_end", "solver", "initial", "seed",
-                 "axes"}
+                 "axes", "metrics", "trajectories"}
         extra = set(d) - known
         if extra:
             raise ValueError(f"unknown spec key(s) {sorted(extra)}; "
@@ -471,6 +498,8 @@ class ScenarioSpec:
             initial=d.get("initial"),
             seed=int(d.get("seed", 0)),
             axes=[(p, v) for p, v in d.get("axes", [])],
+            metrics=d.get("metrics") or (),
+            trajectories=d.get("trajectories", "full"),
         )
 
     def to_json(self, path: str | Path | None = None, *,

@@ -345,6 +345,8 @@ class CampaignService:
             "name": spec.name,
             "members": plan.n_members,
             "shards": plan.n_shards,
+            "metrics": list(spec.metrics),
+            "trajectories": spec.trajectories,
             "status": state,
             "counts": counts,
             "retried": retried,
