@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
-from .hetero import HeteroBatchedBackend
+from .hetero import HeteroBatchedBackend, same_topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.model import RealizedModel
@@ -67,8 +67,11 @@ class BatchedBackend(HeteroBatchedBackend):
                 raise ValueError("ensemble members disagree on v_p")
             if mm.period != first.period:
                 raise ValueError("ensemble members disagree on the period")
-            # (topology equality is validated by HeteroBatchedBackend's
-            # __init__, which runs next via super().)
+            # HeteroBatchedBackend accepts same-N mixed topologies (a
+            # machine-design sweep); the homogeneous ensemble contract
+            # does not — fail loudly instead of batching silently.
+            if not same_topology(mm.topology, first.topology):
+                raise ValueError("ensemble members disagree on the topology")
             if mm.potential is not first.potential and (
                     mm.potential.describe() != first.potential.describe()):
                 raise ValueError("ensemble members disagree on the potential")

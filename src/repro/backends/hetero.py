@@ -15,12 +15,18 @@ entire **parameter grid**: members may disagree on
 * the noise realisation (stacked when the refresh grids agree, as in
   the homogeneous backend).
 
-Only the topology (hence the edge list) and the oscillator count must be
-shared — that is what makes a single flattened segment-sum kernel
-possible.  Because the per-row accumulation order is identical to the
-sparse edge-list backend's, each row of the batched result matches the
-corresponding single-member evaluation to machine precision; this is
-what lets ``grid_sweep(..., batched=True)`` and
+Only the oscillator count ``N`` must be shared.  Members may even
+disagree on the **topology** (a machine-design sweep over same-N
+candidate networks): mixed batches run through a padded stacked
+edge-list path — per-member edge lists concatenated with per-member
+offsets, padded to the widest member, pads scattered into a discarded
+overflow bin — whose per-row accumulation order is identical to
+solving each topology group separately, so topology-axis fusion is
+bit-for-bit identical to per-group shards.  Because the per-row
+accumulation order is identical to the sparse edge-list backend's, each
+row of the batched result matches the corresponding single-member
+evaluation to machine precision; this is what lets
+``grid_sweep(..., batched=True)`` and
 :func:`repro.core.simulation.simulate_grid` integrate all grid points as
 one super-state and fan exact per-point trajectories back out.
 
@@ -42,10 +48,19 @@ The inner coupling loop is delegated to a selectable *kernel*
 ``"auto"`` prefers a compiled kernel whenever every member's potential
 exposes kernel coefficients; ``CustomPotential`` members fall back to
 the NumPy/tiled per-group paths.
+
+For mixed-topology batches the ``"numpy"`` kernel uses the padded
+stacked path and ``"tiled"`` a block-diagonal
+:class:`~repro.kernels.tiled.TiledStackedCoupling`; the compiled
+kernels (``"cc"``/``"numba"``) have no mixed edge-list entry point and
+fall back to one compiled sub-backend per topology group (one-time
+:class:`RuntimeWarning`) — still bit-identical, one compiled call per
+group instead of one per batch.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -60,6 +75,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..integrate.history import HistoryBuffer
 
 __all__ = ["HeteroBatchedBackend", "same_topology"]
+
+#: one-time flag for the mixed-topology compiled-kernel fallback warning
+_warned_mixed_compiled = False
+
+
+def _warn_mixed_compiled(kernel: str) -> None:
+    global _warned_mixed_compiled
+    if _warned_mixed_compiled:
+        return
+    _warned_mixed_compiled = True
+    warnings.warn(
+        f"compiled kernel {kernel!r} has no mixed-topology entry point; "
+        "evaluating this topology-axis batch as one compiled sub-backend "
+        "per topology group (bit-identical, one kernel call per group). "
+        'Use kernel="tiled" or kernel="numpy" for a single stacked pass.',
+        RuntimeWarning, stacklevel=3)
 
 
 def same_topology(a, b) -> bool:
@@ -119,26 +150,41 @@ class HeteroBatchedBackend:
         if len(members) == 0:
             raise ValueError("need at least one batch member")
         first = members[0].model
+        mixed = False
         for m in members[1:]:
             mm = m.model
             if mm.n != first.n:
                 raise ValueError("batch members disagree on N")
             if not same_topology(mm.topology, first.topology):
-                raise ValueError("batch members disagree on the topology")
+                mixed = True
         self.members = tuple(members)
         self.model = first
         self._n = first.n
         self._r = len(members)
+        self._mixed = mixed
         # Per-member parameter columns, broadcast against (R, N) states.
         self._periods = np.array(
             [m.model.period for m in members], dtype=float)[:, None]
         self._vps = np.array(
             [m.model.v_p / self._n for m in members], dtype=float)[:, None]
-        self._rows, self._cols = first.topology.edge_list()
-        # Flattened segment indices for the one-shot bincount: member r's
-        # row i accumulates at r*N + i.
-        offsets = np.arange(self._r, dtype=np.intp) * self._n
-        self._flat_rows = (offsets[:, None] + self._rows[None, :]).ravel()
+        # Per-member edge lists: identical (shared) arrays for a
+        # homogeneous batch, one list per member for a topology-axis
+        # batch.  The delayed path always iterates these.
+        if mixed:
+            per = [m.model.topology.edge_list() for m in self.members]
+            self._rows = self._cols = None
+            self._flat_rows = None
+        else:
+            per = [first.topology.edge_list()] * self._r
+            self._rows, self._cols = first.topology.edge_list()
+            # Flattened segment indices for the one-shot bincount: member
+            # r's row i accumulates at r*N + i.
+            offsets = np.arange(self._r, dtype=np.intp) * self._n
+            self._flat_rows = (offsets[:, None] + self._rows[None, :]).ravel()
+        self._per_rows = [rc[0] for rc in per]
+        self._per_cols = [rc[1] for rc in per]
+        self._edge_sizes = [int(r.size) for r in self._per_rows]
+        self._total_edges = int(sum(self._edge_sizes))
         self._zeta_stack = self._stack_zeta()
         self._has_delays = any(m.has_delays for m in self.members)
         # Delay schedules: broadcast one evaluation when all members
@@ -172,12 +218,16 @@ class HeteroBatchedBackend:
         self._coeffs = kernels.family_coefficients(self._pots)
         self.kernel = kernels.resolve_kernel(
             kernel, has_coefficients=self._coeffs is not None,
-            n_edges=self._rows.size)
+            n_edges=max(self._edge_sizes))
         self._threads_request = threads
         self.threads = kernels.resolve_threads(threads)
         self._tiled = None
+        self._stacked = None
+        self._subs = None
         self._rows32 = self._cols32 = None
-        if self.kernel == "tiled":
+        if mixed:
+            self._setup_mixed()
+        elif self.kernel == "tiled":
             self._tiled = kernels.TiledBatchedCoupling(
                 first.topology, self._edge_potential, self._vps, self._r)
         elif self.kernel in ("cc", "numba"):
@@ -195,10 +245,69 @@ class HeteroBatchedBackend:
                 self._torus_halo = cc_kernels.torus_halo(
                     self._rows, self._cols, self._n)
         # Preallocated (R, E) scratch for the non-delayed numpy kernel.
-        e = self._rows.size
-        if self.kernel == "numpy":
+        if self.kernel == "numpy" and not mixed:
+            e = self._rows.size
             self._d_edge = np.empty((self._r, e))
             self._th_rows = np.empty((self._r, e))
+
+    def _setup_mixed(self) -> None:
+        """Dispatch setup for a topology-axis (mixed edge-list) batch.
+
+        ``tiled`` gets the block-diagonal stacked kernel, the compiled
+        kernels fall back to one sub-backend per topology group, and
+        ``numpy`` builds the padded stacked gather/scatter: per-member
+        edge lists padded to the widest member ``Emax``; pad slots
+        gather the member's own element 0 twice (a guaranteed-finite
+        ``d = 0``) and scatter into the discarded overflow bin ``R*N``,
+        so padding never touches a real accumulator.
+        """
+        if self.kernel == "tiled":
+            self._stacked = kernels.TiledStackedCoupling(
+                self._n, self._per_rows, self._per_cols, self._pots,
+                self._vps)
+            return
+        if self.kernel in ("cc", "numba"):
+            _warn_mixed_compiled(self.kernel)
+            groups: list[tuple[list[int], "RealizedModel"]] = []
+            for i, m in enumerate(self.members):
+                for idx, rep in groups:
+                    if same_topology(m.model.topology, rep.model.topology):
+                        idx.append(i)
+                        break
+                else:
+                    groups.append(([i], m))
+            self._subs = []
+            for idx, _ in groups:
+                # Topology-axis members arrive grouped (the planner
+                # sorts by global index with topology as the outer
+                # axis), so each group is usually a contiguous row
+                # range — a slice keeps theta[sel] a view instead of a
+                # fancy-index copy per RK4 stage.
+                sel = (slice(idx[0], idx[-1] + 1)
+                       if idx == list(range(idx[0], idx[-1] + 1))
+                       else np.asarray(idx, dtype=np.intp))
+                self._subs.append(
+                    (sel,
+                     HeteroBatchedBackend([self.members[i] for i in idx],
+                                          kernel=self.kernel,
+                                          threads=self._threads_request)))
+            return
+        emax = max(self._edge_sizes)
+        offsets = np.arange(self._r, dtype=np.intp) * self._n
+        grows = np.empty((self._r, emax), dtype=np.intp)
+        gcols = np.empty((self._r, emax), dtype=np.intp)
+        scat = np.full((self._r, emax), self._r * self._n, dtype=np.intp)
+        for r in range(self._r):
+            e = self._edge_sizes[r]
+            grows[r, :e] = offsets[r] + self._per_rows[r]
+            gcols[r, :e] = offsets[r] + self._per_cols[r]
+            grows[r, e:] = offsets[r]
+            gcols[r, e:] = offsets[r]
+            scat[r, :e] = offsets[r] + self._per_rows[r]
+        self._grows, self._gcols = grows, gcols
+        self._scatter_pad = scat.ravel()
+        self._d_edge = np.empty((self._r, emax))
+        self._th_rows = np.empty((self._r, emax))
 
     def _stack_zeta(self) -> np.ndarray | None:
         """Stack member zeta realisations when they share a refresh grid."""
@@ -280,11 +389,19 @@ class HeteroBatchedBackend:
     def coupling(self, t: float, theta: np.ndarray,
                  history: "HistoryBuffer | None" = None) -> np.ndarray:
         """Stacked interaction terms for the super-state ``theta (R, N)``."""
-        rows, cols = self._rows, self._cols
-        if rows.size == 0 or not np.any(self._vps):
+        if self._total_edges == 0 or not np.any(self._vps):
             return np.zeros((self._r, self._n))
 
         if not self.has_delays or history is None:
+            if self._subs is not None:
+                # Mixed topologies under a compiled kernel: one compiled
+                # sub-backend per topology group, rows scattered back.
+                out = np.empty((self._r, self._n))
+                for sel, sub in self._subs:
+                    out[sel] = sub.coupling(t, theta[sel], None)
+                return out
+            if self._stacked is not None:
+                return self._stacked(theta)
             if self._tiled is not None:
                 return self._tiled(theta)
             if self._rows32 is not None:
@@ -305,10 +422,26 @@ class HeteroBatchedBackend:
                                          np.empty((self._r, self._n)),
                                          kinds, p0, p1, self._vps_flat,
                                          threads=self.threads)
+            if self._mixed:
+                # Padded stacked path: gather per-member edges from the
+                # flattened (R*N,) super-state, one family-vectorised
+                # potential pass over (R, Emax), one bincount whose
+                # overflow bin swallows every pad slot.  Per-row
+                # accumulation order equals the per-group path's.
+                flat = np.ascontiguousarray(theta).reshape(-1)
+                np.take(flat, self._gcols, out=self._d_edge)
+                np.take(flat, self._grows, out=self._th_rows)
+                np.subtract(self._d_edge, self._th_rows, out=self._d_edge)
+                v_edge = self._edge_potential(self._d_edge)
+                acc = np.bincount(self._scatter_pad, weights=v_edge.ravel(),
+                                  minlength=self._r * self._n + 1)
+                out = acc[:self._r * self._n].reshape(self._r, self._n)
+                out *= self._vps
+                return out
             # Gather into the preallocated scratch; d_edge = theta[:, cols]
             # - theta[:, rows] without per-call allocations.
-            np.take(theta, cols, axis=1, out=self._d_edge)
-            np.take(theta, rows, axis=1, out=self._th_rows)
+            np.take(theta, self._cols, axis=1, out=self._d_edge)
+            np.take(theta, self._rows, axis=1, out=self._th_rows)
             np.subtract(self._d_edge, self._th_rows, out=self._d_edge)
             v_edge = self._edge_potential(self._d_edge)
             acc = np.bincount(self._flat_rows, weights=v_edge.ravel(),
@@ -318,9 +451,11 @@ class HeteroBatchedBackend:
             return out
 
         # Delayed path: the history holds (R, N) super-states; each
-        # member patches its own edge subset per distinct delay level.
+        # member patches its own edge subset per distinct delay level
+        # (per-member edge lists, so mixed topologies work unchanged).
         out = np.empty((self._r, self._n))
         for r, m in enumerate(self.members):
+            rows, cols = self._per_rows[r], self._per_cols[r]
             th = theta[r]
             d_edge = th[cols] - th[rows]
             if m.has_delays:
@@ -377,4 +512,5 @@ class HeteroBatchedBackend:
         """Metadata dictionary used by exporters."""
         return {"backend": self.name, "n": self._n, "members": self._r,
                 "potential_groups": len(self._pot_groups),
+                "mixed_topologies": self._mixed,
                 "kernel": self.kernel, "threads": self.threads}

@@ -61,14 +61,22 @@ from .simulation import (
 )
 from .topology import (
     Topology,
+    TopologyKind,
     all_to_all,
     chain,
+    dragonfly,
+    fat_tree,
     from_edges,
     from_networkx,
     grid2d,
+    hypercube,
+    make_topology,
     random_topology,
+    register_topology,
     ring,
     ring_edges,
+    topology_kinds,
+    topology_n_from_spec,
     torus2d,
     torus2d_edges,
 )
@@ -96,8 +104,10 @@ __all__ = [
     "default_dt", "simulate", "simulate_batched", "simulate_grid",
     "simulate_kuramoto",
     # topology
-    "Topology", "all_to_all", "chain", "from_edges", "from_networkx",
-    "grid2d", "random_topology", "ring", "ring_edges", "torus2d",
+    "Topology", "TopologyKind", "all_to_all", "chain", "dragonfly",
+    "fat_tree", "from_edges", "from_networkx", "grid2d", "hypercube",
+    "make_topology", "random_topology", "register_topology", "ring",
+    "ring_edges", "topology_kinds", "topology_n_from_spec", "torus2d",
     "torus2d_edges",
     # trajectory
     "OscillatorTrajectory",

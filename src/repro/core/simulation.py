@@ -415,8 +415,11 @@ def simulate_grid(
 
     The heterogeneous counterpart of :func:`simulate_batched`: the
     models may differ in coupling strength, period, potential, noise,
-    and one-off delay schedule — only the topology (and N) must be
-    shared.  All grid points are compiled into a single
+    one-off delay schedule — and even **topology** (a machine-design
+    sweep over same-N candidate networks runs through the backend's
+    padded stacked edge-list path, bit-identical to grouping by
+    topology) — only the oscillator count N must be shared.  All grid
+    points are compiled into a single
     :class:`~repro.backends.HeteroBatchedBackend` and integrated in one
     solver pass; per-point trajectories are fanned back out, each
     carrying its own model metadata.

@@ -22,7 +22,9 @@ after ref. [4]).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 import networkx as nx
 import numpy as np
@@ -36,10 +38,18 @@ __all__ = [
     "grid2d",
     "torus2d",
     "torus2d_edges",
+    "fat_tree",
+    "dragonfly",
+    "hypercube",
     "random_topology",
     "from_edges",
     "from_networkx",
     "dependency_topology",
+    "TopologyKind",
+    "register_topology",
+    "topology_kinds",
+    "make_topology",
+    "topology_n_from_spec",
 ]
 
 #: dense materialisations above this many matrix entries raise instead of
@@ -465,6 +475,161 @@ def torus2d_edges(nx_: int, ny_: int) -> Topology:
         distances=(), name=f"torus2d[{nx_}x{ny_}]", periodic=True)
 
 
+def _check_interconnect(topo: Topology, *, degree_min: int,
+                        degree_max: int) -> Topology:
+    """Builder self-check: symmetry + degree bounds for interconnects.
+
+    The real-interconnect builders are pure index arithmetic; this guards
+    against construction bugs (a missing reverse edge, a rank wired to
+    the wrong tier) rather than bad user input, hence ``RuntimeError``.
+    """
+    deg = np.bincount(topo.edge_list()[0], minlength=topo.n)
+    lo, hi = int(deg.min()), int(deg.max())
+    if lo < degree_min or hi > degree_max:
+        raise RuntimeError(
+            f"internal: {topo.name} degrees in [{lo}, {hi}], expected "
+            f"[{degree_min}, {degree_max}]")
+    if not topo.is_symmetric:
+        raise RuntimeError(f"internal: {topo.name} is not symmetric")
+    return topo
+
+
+def hypercube(dim: int) -> Topology:
+    """Binary hypercube interconnect: ``2**dim`` ranks, degree ``dim``.
+
+    Rank ``i`` couples to ``i XOR 2**b`` for each dimension ``b`` — the
+    classic log-diameter network (and the communication pattern of
+    recursive-doubling collectives).  The dimension-``b`` link spans an
+    index distance of exactly ``2**b``, so the generating distance set
+    is ``(1, 2, 4, ..., 2**(dim-1))``: ``kappa_sum = N - 1`` and
+    ``kappa_max = N / 2`` under a grouped ``MPI_Waitall`` (Sec. 3.1
+    rules applied verbatim to the hypercube distances).
+    """
+    dim = int(dim)
+    if dim < 1:
+        raise ValueError("hypercube needs dim >= 1")
+    n = 1 << dim
+    i = np.arange(n, dtype=np.intp)
+    bits = (np.intp(1) << np.arange(dim, dtype=np.intp))
+    rows = np.repeat(i, dim)
+    cols = (i[:, None] ^ bits[None, :]).ravel()
+    topo = Topology.from_edge_arrays(
+        n, rows, cols, distances=tuple(int(b) for b in bits),
+        name=f"hypercube[{dim}]", periodic=False)
+    return _check_interconnect(topo, degree_min=dim, degree_max=dim)
+
+
+def fat_tree(k: int) -> Topology:
+    """k-ary fat-tree interconnect with switches as oscillator ranks.
+
+    The standard 3-tier Clos fabric: ``k`` pods of ``k/2`` edge and
+    ``k/2`` aggregation switches plus ``(k/2)^2`` core switches —
+    ``N = k^2 + (k/2)^2`` ranks.  Rank order is pod-major (pod ``p``
+    holds edge switches ``p*k .. p*k+k/2-1`` then aggregation switches
+    ``p*k+k/2 .. p*k+k-1``), cores last.  Links: full bipartite
+    edge<->aggregation inside each pod, and aggregation switch ``j`` of
+    every pod to core switches ``j*k/2 .. (j+1)*k/2-1``.
+
+    Degrees: edge ``k/2``, aggregation and core ``k``.  Index offsets
+    are not translation invariant here, so the kappa story is the
+    unit-hop one: every link is one switch hop, and the busiest rank
+    (aggregation/core) drives ``k`` of them per cycle — distances are
+    ``(1,) * k``, giving ``kappa_sum = k`` and ``kappa_max = 1``.
+    """
+    k = int(k)
+    if k < 2 or k % 2:
+        raise ValueError("fat-tree arity k must be an even integer >= 2")
+    h = k // 2
+    n = k * k + h * h
+    pods = np.arange(k, dtype=np.intp)
+    slot = np.arange(h, dtype=np.intp)
+    edge = pods[:, None] * k + slot[None, :]          # (k, h)
+    agg = edge + h                                    # (k, h)
+    # full bipartite edge<->agg per pod: (k, h_edge, h_agg)
+    e_rows = np.repeat(edge[:, :, None], h, axis=2)
+    e_cols = np.repeat(agg[:, None, :], h, axis=1)
+    # agg slot j of every pod <-> cores j*h .. (j+1)*h-1: (k, h_agg, h_core)
+    core = k * k + (slot[:, None] * h + slot[None, :])  # (h_agg, h_core)
+    a_rows = np.repeat(agg[:, :, None], h, axis=2)
+    a_cols = np.broadcast_to(core[None, :, :], (k, h, h))
+    fwd_rows = np.concatenate([e_rows.ravel(), a_rows.ravel()])
+    fwd_cols = np.concatenate([e_cols.ravel(), a_cols.ravel()])
+    topo = Topology.from_edge_arrays(
+        n, np.concatenate([fwd_rows, fwd_cols]),
+        np.concatenate([fwd_cols, fwd_rows]),
+        distances=(1,) * k, name=f"fattree[k={k}]", periodic=False)
+    return _check_interconnect(topo, degree_min=h, degree_max=k)
+
+
+def dragonfly(groups: int, routers: int, terminals: int = 0,
+              global_links: int = 1) -> Topology:
+    """Dragonfly interconnect: router groups, local cliques, global links.
+
+    ``groups`` groups of ``routers`` fully connected routers; every
+    ordered pair of groups is joined by one global link, with the
+    ``groups - 1`` global link slots of a group dealt round-robin over
+    its routers (``global_links`` slots per router, so
+    ``routers * global_links >= groups - 1`` must hold — the canonical
+    balanced dragonfly has ``a = 2h``).  Optionally ``terminals`` leaf
+    ranks hang off each router (star edges), modelling compute nodes
+    behind the fabric: ``N = groups * routers * (1 + terminals)``.
+    Rank order: routers group-major first, then terminals router-major.
+
+    Like the fat-tree, index offsets carry no structure, so kappa uses
+    the unit-hop rule: distances are ``(1,) * max_degree`` — the
+    busiest router waits on ``routers - 1`` local peers, its global
+    links, and its terminals — giving ``kappa_sum = max_degree`` and
+    ``kappa_max = 1``.
+    """
+    g, a = int(groups), int(routers)
+    t, h = int(terminals), int(global_links)
+    if g < 2:
+        raise ValueError("dragonfly needs at least two groups")
+    if a < 1 or h < 1 or t < 0:
+        raise ValueError("dragonfly needs routers >= 1, global_links >= 1 "
+                         "and terminals >= 0")
+    if g - 1 > a * h:
+        raise ValueError(
+            f"dragonfly with {g} groups needs {g - 1} global link slots "
+            f"per group, but routers * global_links = {a * h}")
+    n_r = g * a
+    n = n_r * (1 + t)
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    # local all-to-all clique inside each group
+    if a > 1:
+        lr, lc = np.nonzero(1 - np.eye(a))
+        base = (np.arange(g, dtype=np.intp) * a)[:, None]
+        rows_parts.append((base + lr[None, :].astype(np.intp)).ravel())
+        cols_parts.append((base + lc[None, :].astype(np.intp)).ravel())
+    # one global link per ordered group pair: the slot for peer group gj
+    # inside group gi is q = gj - (gj > gi) in [0, g-2], owned by router
+    # q // h.  The rule is its own mirror, so iterating ordered pairs
+    # emits both directions of every physical link.
+    gi, gj = np.nonzero(1 - np.eye(g))
+    gi = gi.astype(np.intp)
+    gj = gj.astype(np.intp)
+    q = gj - (gj > gi)
+    qr = gi - (gi > gj)
+    rows_parts.append(gi * a + q // h)
+    cols_parts.append(gj * a + qr // h)
+    # terminal stars
+    if t:
+        r = np.arange(n_r, dtype=np.intp)
+        term = n_r + (r[:, None] * t + np.arange(t, dtype=np.intp)[None, :])
+        rr, tt = np.repeat(r, t), term.ravel()
+        rows_parts += [rr, tt]
+        cols_parts += [tt, rr]
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    max_deg = int(np.bincount(rows, minlength=n).max())
+    topo = Topology.from_edge_arrays(
+        n, rows, cols, distances=(1,) * max_deg,
+        name=f"dragonfly[{g}x{a}" + (f"+{t}t]" if t else "]"),
+        periodic=False)
+    return _check_interconnect(topo, degree_min=1, degree_max=max_deg)
+
+
 def random_topology(n: int, p: float, *, rng: np.random.Generator | None = None,
                     symmetrize: bool = True, ensure_connected: bool = True,
                     max_tries: int = 100) -> Topology:
@@ -562,3 +727,258 @@ def dependency_topology(n: int, send_distances: Iterable[int], *,
     return Topology(matrix=m, distances=dists,
                     name=f"dep[{proto}]{sorted(set(dists))}",
                     periodic=periodic)
+
+
+# ----------------------------------------------------------------------
+# Builder registry
+# ----------------------------------------------------------------------
+#: ``backing="auto"`` prefers the dense builder up to this many ranks
+#: (cheap, maximally compatible), then switches to the edge-backed
+#: builder when one exists so large topologies never allocate (N, N).
+_AUTO_DENSE_MAX_N = 512
+
+
+@dataclass(frozen=True)
+class TopologyKind:
+    """One registered topology kind: builders plus self-description.
+
+    ``dense`` and ``edges`` are the two backings (either may be
+    ``None``); parameter names and defaults are introspected from the
+    canonical builder's signature, so registration is the single source
+    of truth for spec vocabulary, error messages, and docs.
+    """
+
+    kind: str
+    n_formula: Callable[[dict], int]
+    n_doc: str
+    kappa_doc: str
+    description: str
+    dense: Callable[..., Topology] | None = None
+    edges: Callable[..., Topology] | None = None
+
+    @property
+    def canonical(self) -> Callable[..., Topology]:
+        return self.edges if self.edges is not None else self.dense
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(inspect.signature(self.canonical).parameters)
+
+    def signature_doc(self) -> str:
+        """``kind(param, opt=default, ...)`` for error messages/docs."""
+        parts = []
+        for p in inspect.signature(self.canonical).parameters.values():
+            if p.default is inspect.Parameter.empty:
+                parts.append(p.name)
+            else:
+                parts.append(f"{p.name}={p.default!r}")
+        return f"{self.kind}({', '.join(parts)})"
+
+
+TOPOLOGY_REGISTRY: dict[str, TopologyKind] = {}
+
+#: spec-compat aliases: old edge-builder names force backing="edges"
+_TOPOLOGY_ALIASES: dict[str, tuple[str, str]] = {
+    "ring_edges": ("ring", "edges"),
+    "torus2d_edges": ("torus2d", "edges"),
+}
+
+
+def register_topology(entry: TopologyKind) -> TopologyKind:
+    """Add a kind to the registry (new kinds need exactly this one call)."""
+    if entry.dense is None and entry.edges is None:
+        raise ValueError(f"kind {entry.kind!r} registers no builder")
+    TOPOLOGY_REGISTRY[entry.kind] = entry
+    return entry
+
+
+def topology_kinds() -> dict[str, dict]:
+    """Self-describing registry table: kind -> params/N-formula/kappa.
+
+    Consumed by the service ``/v1/registry`` endpoint, the README table,
+    and the unknown-kind error message.
+    """
+    out = {}
+    for name in sorted(TOPOLOGY_REGISTRY):
+        e = TOPOLOGY_REGISTRY[name]
+        backings = [b for b in ("dense", "edges") if getattr(e, b)]
+        out[name] = {
+            "params": list(e.param_names()),
+            "signature": e.signature_doc(),
+            "n": e.n_doc,
+            "kappa": e.kappa_doc,
+            "backings": backings,
+            "description": e.description,
+        }
+    return out
+
+
+def _unknown_kind_message(kind: str) -> str:
+    lines = [f"unknown topology kind {kind!r}; registered kinds:"]
+    for name, info in topology_kinds().items():
+        lines.append(f"  {info['signature']} — {info['description']}")
+    aliases = ", ".join(f"{a} = {b} (backing={m!r})"
+                        for a, (b, m) in sorted(_TOPOLOGY_ALIASES.items()))
+    lines.append(f"aliases: {aliases}")
+    return "\n".join(lines)
+
+
+def _resolve_kind(kind: str) -> tuple[TopologyKind, str | None]:
+    """Registry entry for ``kind`` plus the backing an alias forces."""
+    if kind in _TOPOLOGY_ALIASES:
+        base, backing = _TOPOLOGY_ALIASES[kind]
+        return TOPOLOGY_REGISTRY[base], backing
+    entry = TOPOLOGY_REGISTRY.get(kind)
+    if entry is None:
+        raise ValueError(_unknown_kind_message(kind))
+    return entry, None
+
+
+def _bind_params(entry: TopologyKind, params: dict) -> dict:
+    """Validate spec params against the builder signature, fill defaults."""
+    sig = inspect.signature(entry.canonical)
+    accepted = set(sig.parameters)
+    extra = set(params) - accepted
+    if extra:
+        raise ValueError(
+            f"unknown key(s) {sorted(extra)} for kind {entry.kind!r}; "
+            f"accepted: {sorted(accepted)}")
+    missing = sorted(
+        p.name for p in sig.parameters.values()
+        if p.default is inspect.Parameter.empty and p.name not in params)
+    if missing:
+        raise ValueError(
+            f"missing required key(s) {missing} for kind {entry.kind!r}; "
+            f"expected {entry.signature_doc()}")
+    bound = sig.bind(**params)
+    bound.apply_defaults()
+    return dict(bound.arguments)
+
+
+def make_topology(kind: str, *, backing: str = "auto",
+                  **params) -> Topology:
+    """Build any registered topology kind by name.
+
+    ``backing`` selects the storage mode: ``"dense"`` for an ``(N, N)``
+    matrix, ``"edges"`` for the edge-list form, or ``"auto"`` (default)
+    which stays dense up to ``_AUTO_DENSE_MAX_N`` ranks and switches to
+    the edge builder beyond — both backings of a kind produce the same
+    name, edge set (in dense ``np.nonzero`` order), and kappa metadata,
+    so the choice never changes results.  The legacy ``*_edges`` names
+    resolve as aliases that force ``backing="edges"``.
+    """
+    if backing not in ("auto", "dense", "edges"):
+        raise ValueError(
+            f"backing must be 'auto', 'dense' or 'edges', got {backing!r}")
+    entry, forced = _resolve_kind(str(kind))
+    if forced is not None:
+        if backing not in ("auto", forced):
+            raise ValueError(
+                f"kind {kind!r} is an alias that forces backing={forced!r}; "
+                f"got backing={backing!r}")
+        backing = forced
+    filled = _bind_params(entry, params)
+    if backing == "auto":
+        if entry.dense is not None and (
+                entry.edges is None
+                or int(entry.n_formula(filled)) <= _AUTO_DENSE_MAX_N):
+            backing = "dense"
+        else:
+            backing = "edges"
+    builder = entry.dense if backing == "dense" else entry.edges
+    if builder is None:
+        have = [b for b in ("dense", "edges") if getattr(entry, b)]
+        raise ValueError(
+            f"kind {entry.kind!r} has no {backing!r} builder "
+            f"(available: {have})")
+    return builder(**params)
+
+
+def topology_n_from_spec(d: dict) -> int:
+    """Rank count of a topology spec dict, from structural params only.
+
+    Used by the planner to estimate shard footprints and to decide
+    topology-axis fusion without building the topology.  Raises (rather
+    than misestimating) on unknown kinds or missing params.
+    """
+    spec = dict(d)
+    kind = str(spec.pop("kind", "ring"))
+    entry, _ = _resolve_kind(kind)
+    filled = _bind_params(entry, spec)
+    n = int(entry.n_formula(filled))
+    if n < 1:
+        raise ValueError(f"kind {kind!r} with params {spec} gives N={n}")
+    return n
+
+
+# --- canonical spec-facing wrappers (parameter names ARE the spec keys;
+# the local ``nx``/``ny`` shadow the networkx import only inside these
+# bodies, which never touch it) ------------------------------------------
+def _torus2d_dense(nx: int, ny: int) -> Topology:
+    return grid2d(int(nx), int(ny), periodic=True)
+
+
+def _torus2d_edges(nx: int, ny: int) -> Topology:
+    return torus2d_edges(int(nx), int(ny))
+
+
+def _grid2d_dense(nx: int, ny: int, periodic: bool = False) -> Topology:
+    return grid2d(int(nx), int(ny), periodic=bool(periodic))
+
+
+def _dependency_dense(n: int, distances: Iterable[int],
+                      rendezvous: bool = False,
+                      periodic: bool = True) -> Topology:
+    return dependency_topology(int(n), distances, rendezvous=bool(rendezvous),
+                               periodic=bool(periodic))
+
+
+register_topology(TopologyKind(
+    kind="ring", dense=ring, edges=ring_edges,
+    n_formula=lambda p: int(p["n"]), n_doc="n",
+    kappa_doc="sum|d| / max|d| over the distance set",
+    description="periodic 1-D halo exchange over a distance set"))
+register_topology(TopologyKind(
+    kind="chain", dense=chain,
+    n_formula=lambda p: int(p["n"]), n_doc="n",
+    kappa_doc="sum|d| / max|d| over the distance set",
+    description="open 1-D chain (no periodic wrap)"))
+register_topology(TopologyKind(
+    kind="all_to_all", dense=all_to_all,
+    n_formula=lambda p: int(p["n"]), n_doc="n",
+    kappa_doc="0 (no distance structure)",
+    description="fully connected baseline (global-barrier-like)"))
+register_topology(TopologyKind(
+    kind="grid2d", dense=_grid2d_dense,
+    n_formula=lambda p: int(p["nx"]) * int(p["ny"]), n_doc="nx*ny",
+    kappa_doc="row-0 neighbour offsets (5-point stencil)",
+    description="open 2-D Cartesian 5-point halo"))
+register_topology(TopologyKind(
+    kind="torus2d", dense=_torus2d_dense, edges=_torus2d_edges,
+    n_formula=lambda p: int(p["nx"]) * int(p["ny"]), n_doc="nx*ny",
+    kappa_doc="row-0 neighbour offsets (wrapped 5-point stencil)",
+    description="periodic 2-D Cartesian 5-point halo"))
+register_topology(TopologyKind(
+    kind="dependency", dense=_dependency_dense,
+    n_formula=lambda p: int(p["n"]), n_doc="n",
+    kappa_doc="sum|d| / max|d| over the send-distance set",
+    description="directed eager/rendezvous MPI dependency matrix"))
+register_topology(TopologyKind(
+    kind="hypercube", edges=hypercube,
+    n_formula=lambda p: 1 << int(p["dim"]), n_doc="2**dim",
+    kappa_doc="distances (1, 2, ..., 2**(dim-1)): sum = N-1, max = N/2",
+    description="binary hypercube, rank i <-> i XOR 2**b"))
+register_topology(TopologyKind(
+    kind="fattree", edges=fat_tree,
+    n_formula=lambda p: int(p["k"]) ** 2 + (int(p["k"]) // 2) ** 2,
+    n_doc="k**2 + (k//2)**2",
+    kappa_doc="unit-hop distances (1,)*k: sum = k, max = 1",
+    description="k-ary 3-tier fat-tree (edge/agg/core switches as ranks)"))
+register_topology(TopologyKind(
+    kind="dragonfly", edges=dragonfly,
+    n_formula=lambda p: (int(p["groups"]) * int(p["routers"])
+                         * (1 + int(p.get("terminals") or 0))),
+    n_doc="groups*routers*(1+terminals)",
+    kappa_doc="unit-hop distances (1,)*max_degree: sum = max_degree, "
+              "max = 1",
+    description="dragonfly (local cliques + round-robin global links "
+                "+ optional terminals)"))

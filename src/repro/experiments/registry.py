@@ -22,9 +22,9 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from .fig1a import run_fig1a
-from .supermuc import run_supermuc
+from .supermuc import run_supermuc, supermuc_spec
 from .fig1b import run_fig1b
-from .fig2 import run_fig2
+from .fig2 import fig2_spec, run_fig2
 from .sweeps import (
     beta_kappa_spec,
     kuramoto_baseline,
@@ -82,6 +82,7 @@ REGISTRY: dict[str, Experiment] = {
         description="Fig. 2: four-panel MPI-trace vs oscillator-model "
                     "analogy (idle waves, resync, wavefronts)",
         runner=run_fig2,
+        spec_factory=fig2_spec,
         quick_kwargs={"n_ranks": 12, "n_iterations": 12},
     ),
     "beta-kappa": Experiment(
@@ -113,6 +114,7 @@ REGISTRY: dict[str, Experiment] = {
         description="Artifact appendix: the same phenomenology on the "
                     "SuperMUC-NG machine spec (24-core Skylake sockets)",
         runner=run_supermuc,
+        spec_factory=supermuc_spec,
         quick_kwargs={"n_iterations": 30},
     ),
 }

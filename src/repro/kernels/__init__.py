@@ -54,7 +54,12 @@ from .coeffs import (
     family_coefficients,
 )
 from .numba_kernels import numba_available
-from .tiled import TiledBatchedCoupling, TiledSingleCoupling, TilePlan
+from .tiled import (
+    TiledBatchedCoupling,
+    TiledSingleCoupling,
+    TiledStackedCoupling,
+    TilePlan,
+)
 
 __all__ = [
     "KERNELS",
@@ -78,6 +83,7 @@ __all__ = [
     "TilePlan",
     "TiledSingleCoupling",
     "TiledBatchedCoupling",
+    "TiledStackedCoupling",
 ]
 
 #: names accepted by the ``kernel=`` knobs

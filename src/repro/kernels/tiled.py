@@ -20,7 +20,12 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["TilePlan", "TiledSingleCoupling", "TiledBatchedCoupling"]
+__all__ = [
+    "TilePlan",
+    "TiledSingleCoupling",
+    "TiledBatchedCoupling",
+    "TiledStackedCoupling",
+]
 
 #: default edge-block length for the single-state kernel (doubles)
 BLOCK_EDGES = 32768
@@ -148,3 +153,72 @@ class TiledBatchedCoupling:
             acc[:, r0:r1] += seg.reshape(self._r, r1 - r0)
         acc *= self._vps
         return acc
+
+
+class TiledStackedCoupling:
+    """Blocked coupling for a stack of members with *different* edge lists.
+
+    Topology-axis batches have no shared ``(rows, cols)``, so the
+    whole batch is treated as one block-diagonal graph on ``R * N``
+    nodes: member ``r``'s edge ``(i, j)`` becomes the global edge
+    ``(r*N + i, r*N + j)``.  Concatenating the per-member row-major
+    edge lists in member order keeps the global list row-major, so the
+    standard :class:`TilePlan` applies unchanged and every global row
+    still accumulates inside one block in row-major edge order — the
+    result is bit-identical to solving each member (or each
+    same-topology group) separately.
+
+    ``potentials`` is one callable per member; blocks spanning several
+    members evaluate each member's contiguous edge segment with its own
+    potential (elementwise, hence bit-equal to any grouped evaluation).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rows_list: list[np.ndarray],
+        cols_list: list[np.ndarray],
+        potentials: list[Callable],
+        vps_column: np.ndarray,
+        block_edges: int = BLOCK_EDGES,
+    ) -> None:
+        n = int(n)
+        r_count = len(rows_list)
+        sizes = np.array([r.size for r in rows_list], dtype=np.intp)
+        self._edge_offs = np.concatenate(([0], np.cumsum(sizes)))
+        node_offs = np.arange(r_count, dtype=np.intp) * n
+        self._grows = np.concatenate(
+            [o + np.asarray(r, dtype=np.intp)
+             for o, r in zip(node_offs, rows_list)])
+        self._gcols = np.concatenate(
+            [o + np.asarray(c, dtype=np.intp)
+             for o, c in zip(node_offs, cols_list)])
+        counts = np.bincount(self._grows, minlength=r_count * n)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        self.plan = TilePlan(indptr, self._grows, r_count * n, block_edges)
+        self._pots = list(potentials)
+        self._vps = vps_column  # (R, 1)
+        self._r = r_count
+        self._n = n
+
+    def __call__(self, theta: np.ndarray) -> np.ndarray:
+        flat = np.ascontiguousarray(theta).reshape(-1)
+        acc = np.zeros(self._r * self._n)
+        grows, gcols, offs = self._grows, self._gcols, self._edge_offs
+        for e0, e1, r0, r1, local in self.plan.blocks:
+            d = flat[gcols[e0:e1]] - flat[grows[e0:e1]]
+            v = np.empty(e1 - e0)
+            m = int(np.searchsorted(offs, e0, side="right")) - 1
+            s = e0
+            while s < e1:
+                stop = min(e1, int(offs[m + 1]))
+                if stop > s:
+                    v[s - e0 : stop - e0] = np.asarray(
+                        self._pots[m](d[s - e0 : stop - e0]), dtype=float
+                    )
+                s = stop
+                m += 1
+            acc[r0:r1] += np.bincount(local, weights=v, minlength=r1 - r0)
+        out = acc.reshape(self._r, self._n)
+        out *= self._vps
+        return out

@@ -51,20 +51,15 @@ from ..core import (
     RandomInteractionNoise,
     StaticLoadImbalance,
     UniformJitter,
-    chain,
+    make_topology,
     perturbed,
     potential_from_name,
     random_phases,
-    ring,
-    ring_edges,
     splayed,
     synchronized,
-    torus2d,
-    torus2d_edges,
     wavefront,
 )
 from ..core.coupling import Protocol, WaitMode
-from ..core.topology import all_to_all, dependency_topology, grid2d
 from ..metrics.streaming import parse_trajectories, validate_metrics
 
 __all__ = [
@@ -99,32 +94,21 @@ def _take(d: dict, *keys: str) -> dict:
 
 
 def topology_from_spec(d: dict):
-    """Build a :class:`~repro.core.Topology` from its spec dict."""
-    kind = d.get("kind", "ring")
-    if kind in ("ring", "ring_edges"):
-        args = _take(d, "n", "distances", "symmetrize")
-        builder = ring_edges if kind == "ring_edges" else ring
-        dists = tuple(int(x) for x in args.pop("distances", (1, -1)))
-        return builder(args.pop("n"), dists, **args)
-    if kind == "chain":
-        args = _take(d, "n", "distances", "symmetrize")
-        dists = tuple(int(x) for x in args.pop("distances", (1, -1)))
-        return chain(args.pop("n"), dists, **args)
-    if kind == "all_to_all":
-        return all_to_all(_take(d, "n")["n"])
-    if kind in ("grid2d", "torus2d", "torus2d_edges"):
-        args = _take(d, "nx", "ny", "periodic")
-        nx_, ny_ = args.pop("nx"), args.pop("ny")
-        if kind == "torus2d":
-            return torus2d(nx_, ny_)
-        if kind == "torus2d_edges":
-            return torus2d_edges(nx_, ny_)
-        return grid2d(nx_, ny_, **args)
-    if kind == "dependency":
-        args = _take(d, "n", "distances", "rendezvous", "periodic")
-        dists = tuple(int(x) for x in args.pop("distances"))
-        return dependency_topology(args.pop("n"), dists, **args)
-    raise ValueError(f"unknown topology kind {kind!r}")
+    """Build a :class:`~repro.core.Topology` from its spec dict.
+
+    Dispatches through the builder registry in
+    :mod:`repro.core.topology` — new kinds need exactly one
+    :func:`~repro.core.topology.register_topology` call to become
+    spec vocabulary.  Unknown kinds raise listing every registered kind
+    with its introspected parameters; unknown/missing params raise the
+    same way.  ``distances`` values are coerced to ints up front so
+    JSON floats round-trip like the legacy dispatch did.
+    """
+    params = dict(d)
+    kind = str(params.pop("kind", "ring"))
+    if "distances" in params and params["distances"] is not None:
+        params["distances"] = tuple(int(x) for x in params["distances"])
+    return make_topology(kind, **params)
 
 
 def potential_from_spec(d: dict):

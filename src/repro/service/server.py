@@ -413,12 +413,14 @@ class CampaignService:
         return out
 
     def registry_info(self) -> dict:
-        """``GET /v1/registry`` — submittable scenario names."""
+        """``GET /v1/registry`` — submittable scenarios + topology kinds."""
+        from ..core.topology import topology_kinds
+
         return {"scenarios": [
             {"name": name, "id": exp.id, "description": exp.description,
              "has_spec": exp.spec_factory is not None}
             for name, exp in sorted(REGISTRY.items())
-        ]}
+        ], "topologies": topology_kinds()}
 
     def count_request(self) -> None:
         with self._count_lock:

@@ -172,11 +172,16 @@ class TestHeteroValidation:
         with pytest.raises(ValueError, match="disagree on N"):
             HeteroBatchedBackend([a, b])
 
-    def test_mismatched_topology_rejected(self):
+    def test_mixed_same_n_topologies_accepted(self):
+        # Same-N mixed topologies are a supported machine-design batch
+        # (topology-axis fusion); only the homogeneous BatchedBackend
+        # contract rejects them.
         a = make_model(topology=ring(8, (1, -1))).realize(5.0, rng=0)
         b = make_model(topology=chain(8, (1, -1))).realize(5.0, rng=0)
+        backend = HeteroBatchedBackend([a, b], kernel="numpy")
+        assert backend.describe()["mixed_topologies"]
         with pytest.raises(ValueError, match="topology"):
-            HeteroBatchedBackend([a, b])
+            BatchedBackend([a, b])
 
     def test_hetero_accepts_what_batched_rejects(self):
         topo = ring(8, (1, -1))

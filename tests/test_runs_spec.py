@@ -49,8 +49,15 @@ class TestBuilders:
         np.testing.assert_array_equal(t2.matrix, ring(30).matrix)
 
     def test_unknown_topology_kind(self):
-        with pytest.raises(ValueError, match="unknown topology kind"):
-            topology_from_spec({"kind": "hypercube", "n": 8})
+        with pytest.raises(ValueError, match="unknown topology kind") as err:
+            topology_from_spec({"kind": "moebius", "n": 8})
+        # the redesigned error enumerates the registry with params
+        assert "ring(n, distances=(1, -1), symmetrize=True)" in str(err.value)
+        assert "dragonfly(" in str(err.value)
+
+    def test_registered_kind_with_wrong_params_names_them(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            topology_from_spec({"kind": "hypercube"})
 
     def test_unknown_key_rejected(self):
         with pytest.raises(ValueError, match="unknown key"):
